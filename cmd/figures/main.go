@@ -1,0 +1,62 @@
+// Command figures regenerates the paper's evaluation artefacts (Figures
+// 1-6, Equations 1-4) as text series.
+//
+// Usage:
+//
+//	figures            # everything
+//	figures -only fig4 # one artefact: fig1..fig6, eq1..eq4
+//	figures -fast      # reduced Monte-Carlo sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	only := flag.String("only", "", "generate a single artefact: fig1..fig6, eq1..eq4")
+	fast := flag.Bool("fast", false, "reduced Monte-Carlo sizes")
+	flag.Parse()
+
+	nMC := 20000
+	dacMC := 60
+	if *fast {
+		nMC = 3000
+		dacMC = 30
+	}
+
+	gens := []struct {
+		key string
+		run func() string
+	}{
+		{"fig1", func() string { _, s := figures.Fig1(nMC, 1); return s }},
+		{"fig2", func() string { _, s := figures.Fig2(); return s }},
+		{"fig3", func() string { _, s := figures.Fig3(); return s }},
+		{"fig4", func() string { _, s := figures.Fig4Default(); return s }},
+		{"fig5", func() string { _, s := figures.Fig5(dacMC, 3); return s }},
+		{"fig6", func() string { _, s := figures.Fig6(30, 10); return s }},
+		{"eq1", func() string { _, s := figures.Eq1(nMC, 5); return s }},
+		{"eq2", func() string { _, s := figures.Eq2(); return s }},
+		{"eq3", func() string { _, s := figures.Eq3(); return s }},
+		{"eq4", func() string { _, s := figures.Eq4(); return s }},
+		{"scaling", func() string { _, s := figures.ScalingStudy(); return s }},
+		{"ring", func() string { _, s := figures.Ring(); return s }},
+		{"immunity", func() string { _, s := figures.Immunity(); return s }},
+	}
+
+	found := false
+	for _, g := range gens {
+		if *only != "" && g.key != *only {
+			continue
+		}
+		found = true
+		fmt.Println(g.run())
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "figures: unknown artefact %q (use fig1..fig6, eq1..eq4)\n", *only)
+		os.Exit(1)
+	}
+}

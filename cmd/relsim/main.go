@@ -1,0 +1,333 @@
+// Command relsim runs reliability analyses on a SPICE-flavoured netlist.
+//
+// Usage:
+//
+//	relsim -netlist ckt.sp -analysis op
+//	relsim -netlist ckt.sp -analysis tran -stop 1e-3 -step 1e-6 -record out
+//	relsim -netlist ckt.sp -analysis tran -adaptive -ltetol 1e-3 -record out
+//	relsim -netlist ckt.sp -analysis sweep -source VIN -from 0 -to 1.1 -points 23 -record out
+//	relsim -netlist ckt.sp -analysis ac -acsource VIN -fstart 1e3 -fstop 1e9 -record out
+//	relsim -netlist ckt.sp -analysis age -years 10 -temp 400 -record out
+//	relsim -netlist ckt.sp -analysis mc -trials 200 -node out -lo 0.4 -hi 0.8
+//	relsim -netlist ckt.sp -analysis corners -node out
+//
+// The age analysis applies NBTI+HCI+TDDB with DC stress extracted from the
+// operating point; mc runs Monte-Carlo mismatch on all MOSFETs and reports
+// the node-voltage distribution and yield against [-lo, -hi]; corners
+// sweeps the five classic global corners (TT/SS/FF/SF/FS).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/aging"
+	"repro/internal/circuit"
+	"repro/internal/mathx"
+	"repro/internal/netlist"
+	"repro/internal/report"
+	"repro/internal/variation"
+)
+
+const year = 365.25 * 24 * 3600
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("relsim: ")
+	var (
+		netFile  = flag.String("netlist", "", "netlist file (required)")
+		analysis = flag.String("analysis", "op", "op | tran | sweep | age | mc")
+		stop     = flag.Float64("stop", 1e-3, "tran: stop time [s]")
+		step     = flag.Float64("step", 1e-6, "tran: time step [s]")
+		adaptive = flag.Bool("adaptive", false, "tran: variable step with LTE control")
+		ltetol   = flag.Float64("ltetol", 1e-3, "tran: LTE tolerance [V] (adaptive)")
+		record   = flag.String("record", "", "comma-separated node list to report")
+		source   = flag.String("source", "", "sweep: source element to sweep")
+		from     = flag.Float64("from", 0, "sweep: start value")
+		to       = flag.Float64("to", 1, "sweep: end value")
+		points   = flag.Int("points", 11, "sweep: number of points")
+		years    = flag.Float64("years", 10, "age: mission length [years]")
+		temp     = flag.Float64("temp", 350, "age: junction temperature [K]")
+		acFrom   = flag.Float64("fstart", 1e3, "ac: start frequency [Hz]")
+		acTo     = flag.Float64("fstop", 1e9, "ac: stop frequency [Hz]")
+		acPoints = flag.Int("fpoints", 31, "ac: number of log-spaced points")
+		acSource = flag.String("acsource", "", "ac: source to stimulate (ACMag=1)")
+		trials   = flag.Int("trials", 200, "mc: number of Monte-Carlo dies")
+		node     = flag.String("node", "", "mc: monitored node")
+		lo       = flag.Float64("lo", math.Inf(-1), "mc: spec lower bound")
+		hi       = flag.Float64("hi", math.Inf(1), "mc: spec upper bound")
+		seed     = flag.Uint64("seed", 1, "mc/age: RNG seed")
+	)
+	flag.Parse()
+	if *netFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(*netFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deck, err := netlist.Parse(string(text))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if deck.Title != "" {
+		fmt.Printf("* %s (tech %s, %g K)\n", deck.Title, deck.Tech.Name, deck.TempK)
+	}
+
+	nodes := splitList(*record)
+
+	switch *analysis {
+	case "op":
+		runOP(deck, nodes)
+	case "tran":
+		if *adaptive {
+			runTranAdaptive(deck, nodes, *stop, *step, *ltetol)
+		} else {
+			runTran(deck, nodes, *stop, *step)
+		}
+	case "sweep":
+		runSweep(deck, nodes, *source, *from, *to, *points)
+	case "ac":
+		runAC(deck, nodes, *acSource, *acFrom, *acTo, *acPoints)
+	case "age":
+		runAge(deck, nodes, *years, *temp, *seed)
+	case "mc":
+		runMC(deck, *node, *trials, *lo, *hi, *seed)
+	case "corners":
+		runCorners(deck, *node)
+	default:
+		log.Fatalf("unknown analysis %q", *analysis)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func runOP(deck *netlist.Deck, nodes []string) {
+	sol, err := deck.Circuit.OperatingPoint()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(nodes) == 0 {
+		nodes = deck.Circuit.NodeNames()
+	}
+	t := report.NewTable("operating point", "node", "V")
+	for _, n := range nodes {
+		t.AddRow(n, report.SI(sol.Voltage(n), "V"))
+	}
+	fmt.Println(t)
+	if len(deck.MOSFETs) > 0 {
+		mt := report.NewTable("devices", "name", "ID", "gm", "region")
+		for _, m := range deck.Circuit.MOSFETs() {
+			op := m.OP()
+			mt.AddRow(m.Name(), report.SI(op.ID, "A"), report.SI(op.Gm, "S"), op.Region)
+		}
+		fmt.Println(mt)
+	}
+}
+
+func runTran(deck *netlist.Deck, nodes []string, stop, step float64) {
+	wf, err := deck.Circuit.Transient(circuit.TranSpec{
+		Stop: stop, Step: step, Integrator: circuit.Trapezoidal, Record: nodes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(nodes) == 0 {
+		nodes = wf.Nodes()
+	}
+	headers := append([]string{"t [s]"}, nodes...)
+	rows := make([][]float64, len(wf.Times))
+	for i, tm := range wf.Times {
+		row := []float64{tm}
+		for _, n := range nodes {
+			row = append(row, wf.Node(n)[i])
+		}
+		rows[i] = row
+	}
+	fmt.Print(report.CSV(headers, rows))
+}
+
+func runTranAdaptive(deck *netlist.Deck, nodes []string, stop, minStep, ltetol float64) {
+	wf, err := deck.Circuit.TransientAdaptive(circuit.AdaptiveSpec{
+		Stop: stop, MinStep: minStep, MaxStep: stop / 20, LTETol: ltetol,
+		Integrator: circuit.Trapezoidal, Record: nodes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(nodes) == 0 {
+		nodes = wf.Nodes()
+	}
+	headers := append([]string{"t [s]"}, nodes...)
+	rows := make([][]float64, len(wf.Times))
+	for i, tm := range wf.Times {
+		row := []float64{tm}
+		for _, n := range nodes {
+			row = append(row, wf.Node(n)[i])
+		}
+		rows[i] = row
+	}
+	fmt.Print(report.CSV(headers, rows))
+}
+
+func runSweep(deck *netlist.Deck, nodes []string, source string, from, to float64, points int) {
+	if source == "" {
+		log.Fatal("sweep needs -source")
+	}
+	if points < 2 {
+		log.Fatal("sweep needs -points >= 2")
+	}
+	values := mathx.Linspace(from, to, points)
+	sols, err := deck.Circuit.DCSweep(source, values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(nodes) == 0 {
+		nodes = deck.Circuit.NodeNames()
+	}
+	headers := append([]string{source}, nodes...)
+	rows := make([][]float64, len(values))
+	for i := range values {
+		row := []float64{values[i]}
+		for _, n := range nodes {
+			row = append(row, sols[i].Voltage(n))
+		}
+		rows[i] = row
+	}
+	fmt.Print(report.CSV(headers, rows))
+}
+
+func runAC(deck *netlist.Deck, nodes []string, source string, from, to float64, points int) {
+	if source == "" {
+		log.Fatal("ac needs -acsource")
+	}
+	src, err := deck.Circuit.VSourceByName(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src.ACMag = 1
+	if len(nodes) == 0 {
+		nodes = deck.Circuit.NodeNames()
+	}
+	if points < 2 || from <= 0 || to <= from {
+		log.Fatal("ac needs 0 < fstart < fstop and fpoints >= 2")
+	}
+	pts, err := deck.Circuit.AC(mathx.Logspace(from, to, points))
+	if err != nil {
+		log.Fatal(err)
+	}
+	headers := []string{"f [Hz]"}
+	for _, n := range nodes {
+		headers = append(headers, n+" [dB]", n+" [deg]")
+	}
+	rows := make([][]float64, len(pts))
+	for i, p := range pts {
+		row := []float64{p.Freq}
+		for _, n := range nodes {
+			row = append(row, p.MagDB(n), p.PhaseDeg(n))
+		}
+		rows[i] = row
+	}
+	fmt.Print(report.CSV(headers, rows))
+}
+
+func runAge(deck *netlist.Deck, nodes []string, years, temp float64, seed uint64) {
+	if len(nodes) == 0 {
+		nodes = deck.Circuit.NodeNames()
+	}
+	ager := aging.NewCircuitAger(deck.Circuit, aging.DefaultModels(), temp, seed)
+	traj, err := ager.AgeTo(aging.LogCheckpoints(3600, years*year, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	headers := append([]string{"age"}, nodes...)
+	t := report.NewTable(fmt.Sprintf("aging trajectory (%g years @ %g K)", years, temp), headers...)
+	for _, cp := range traj {
+		cells := []string{report.Years(cp.Time)}
+		if cp.Failed {
+			cells = append(cells, "no convergence")
+		} else {
+			for _, n := range nodes {
+				cells = append(cells, report.SI(cp.Solution.Voltage(n), "V"))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	fmt.Println(t)
+	dt := report.NewTable("device damage at end of life", "device", "ΔVT", "mobility", "BD mode")
+	for _, name := range ager.SortedAgerNames() {
+		m := deck.MOSFETs[name]
+		dt.AddRow(name,
+			report.SI(m.Dev.Damage.DeltaVT, "V"),
+			fmt.Sprintf("%.3f", m.Dev.Damage.MobilityFactor),
+			ager.Ager(name).BDMode().String())
+	}
+	fmt.Println(dt)
+}
+
+func runCorners(deck *netlist.Deck, node string) {
+	if node == "" {
+		log.Fatal("corners needs -node")
+	}
+	// 3σ global corner levels: a representative 30 mV / 8 % spread.
+	corners := variation.StandardCorners(0.03, 0.08)
+	vals, err := variation.CornerSweep(deck.Circuit, corners, func(c *circuit.Circuit) (float64, error) {
+		sol, err := c.OperatingPoint()
+		if err != nil {
+			return 0, err
+		}
+		return sol.Voltage(node), nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable("process corners", "corner", "V("+node+")")
+	for _, co := range corners {
+		t.AddRow(co.Name, report.SI(vals[co.Name], "V"))
+	}
+	fmt.Println(t)
+}
+
+func runMC(deck *netlist.Deck, node string, trials int, lo, hi float64, seed uint64) {
+	if node == "" {
+		log.Fatal("mc needs -node")
+	}
+	res, err := variation.MonteCarlo(trials, seed, func(rng *mathx.RNG, _ int) (float64, error) {
+		variation.ApplyRandomMismatch(deck.Circuit, deck.Tech, variation.NominalCorner(), rng)
+		sol, err := deck.Circuit.OperatingPoint()
+		if err != nil {
+			return 0, err
+		}
+		return sol.Voltage(node), nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	variation.ResetMismatch(deck.Circuit)
+	fmt.Printf("V(%s) over %d dies: mean %s, σ %s\n", node, trials,
+		report.SI(res.Mean(), "V"), report.SI(res.StdDev(), "V"))
+	loQ, hiQ := mathx.MinMax(res.Values)
+	h := mathx.NewHistogram(loQ, hiQ+1e-12, 15)
+	for _, v := range res.Values {
+		h.Add(v)
+	}
+	fmt.Print(report.TextHist(h, 40))
+	if !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
+		y := variation.EstimateYield(res.Values, variation.Spec{Name: node, Lo: lo, Hi: hi})
+		fmt.Printf("yield for %g <= V(%s) <= %g: %s\n", lo, node, hi, y)
+	}
+}

@@ -1,0 +1,45 @@
+package adapt_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adapt"
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/mathx"
+	"repro/internal/variation"
+)
+
+// Example wires up the Fig. 6 loop: a gain monitor, a gate-bias knob and
+// an exhaustive controller that finds a configuration meeting the spec.
+func Example() {
+	tech := device.MustTech("65nm")
+	c := circuit.New()
+	c.AddVSource("VDD", "vdd", "0", circuit.DC(tech.VDD))
+	vg := c.AddVSource("VG", "g", "0", circuit.DC(tech.VDD-0.3))
+	vg.ACMag = 1
+	c.AddResistor("RD", "d", "0", 20e3)
+	c.AddMOSFET("M1", "d", "g", "vdd", "vdd",
+		device.NewMosfet(tech.PMOSParams(4e-6, 2*tech.Lmin, 300)))
+
+	knob := adapt.VSourceKnob("vbias", vg, mathx.Linspace(tech.VDD-0.3, 0.3, 8))
+	ctrl, err := adapt.NewController(
+		[]*adapt.Knob{knob},
+		[]adapt.Monitor{adapt.ACGainMonitor("gain", "d", 1e3)},
+		[]variation.Spec{{Name: "gain", Lo: 5, Hi: math.Inf(1)}},
+		adapt.Exhaustive,
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tr, err := ctrl.Tune(c)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("in spec: %v (gain %.1f at knob level %d)\n", tr.InSpec, tr.Values[0], knob.Index())
+	// Output:
+	// in spec: true (gain 5.9 at knob level 2)
+}

@@ -1,0 +1,71 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStandbyLifetime(t *testing.T) {
+	if StandbyLifetime(100, 0) != 100 {
+		t.Error("no spares = unit lifetime")
+	}
+	if StandbyLifetime(100, 3) != 400 {
+		t.Error("standby lifetimes must add")
+	}
+}
+
+func TestStandbyUnitsFor(t *testing.T) {
+	if StandbyUnitsFor(100, 50) != 1 {
+		t.Error("already sufficient should need one unit")
+	}
+	if StandbyUnitsFor(100, 1000) != 10 {
+		t.Errorf("got %d, want 10", StandbyUnitsFor(100, 1000))
+	}
+	if StandbyUnitsFor(100, 1050) != 11 {
+		t.Error("must round up")
+	}
+	if StandbyUnitsFor(100, math.Inf(1)) != math.MaxInt32 {
+		t.Error("infinite target must cap")
+	}
+}
+
+func TestTMRLifetime(t *testing.T) {
+	if TMRLifetime([]float64{10, 30, 20}) != 20 {
+		t.Error("TMR dies at the second failure")
+	}
+	// The wear-out trap: tightly clustered failures barely outlive a
+	// single unit despite 3× area.
+	if got := TMRLifetime([]float64{99, 100, 101}); got != 100 {
+		t.Errorf("clustered TMR = %g", got)
+	}
+}
+
+func TestRedundancyVsAdaptationStory(t *testing.T) {
+	// Numbers from the Fig. 6 reproduction: the static amplifier leaves
+	// spec after ~0.003 stress-years while the adaptive one survives the
+	// 30-year mission. Matching that with standby redundancy needs four
+	// orders of magnitude of area.
+	const staticTTF = 0.00317 // years
+	const missionYears = 30.0
+	units := StandbyUnitsFor(staticTTF, missionYears)
+	if units < 5000 {
+		t.Errorf("redundancy multiplier %d should be absurd — the paper's point", units)
+	}
+}
+
+func TestRedundancyPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { StandbyLifetime(1, -1) },
+		func() { StandbyUnitsFor(0, 10) },
+		func() { TMRLifetime([]float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,55 @@
+package aging_test
+
+import (
+	"fmt"
+
+	"repro/internal/aging"
+)
+
+// ExampleNBTIModel_ShiftDC shows the Eq. 3 closed form: threshold shift
+// after one year of DC stress at a 5 MV/cm oxide field and 125 °C.
+func ExampleNBTIModel_ShiftDC() {
+	m := aging.DefaultNBTI()
+	const year = 365.25 * 24 * 3600
+	dvt := m.ShiftDC(5e8, 398, year)
+	fmt.Printf("ΔVT after 1 year: %.0f mV\n", dvt*1e3)
+	// Output:
+	// ΔVT after 1 year: 105 mV
+}
+
+// ExampleNBTIModel_ShiftAfterRelax shows the universal relaxation: one hour
+// after a 1000-second stress most of the recoverable component is gone.
+func ExampleNBTIModel_ShiftAfterRelax() {
+	m := aging.DefaultNBTI()
+	stressed := m.ShiftDC(5e8, 350, 1e3)
+	relaxed := m.ShiftAfterRelax(5e8, 350, 1e3, 3600)
+	fmt.Printf("remaining fraction: %.2f\n", relaxed/stressed)
+	// Output:
+	// remaining fraction: 0.74
+}
+
+// ExampleTDDBModel_Eta shows the exponential field acceleration of oxide
+// breakdown: one extra MV/cm costs about a decade and a half of lifetime.
+func ExampleTDDBModel_Eta() {
+	m := aging.DefaultTDDB()
+	use := m.Eta(5e8, 330, 1e-12, 2.0)
+	stress := m.Eta(6e8, 330, 1e-12, 2.0)
+	fmt.Printf("acceleration: %.0fx\n", use/stress)
+	// Output:
+	// acceleration: 32x
+}
+
+// ExampleFitWeibull shows the TDDB data-reduction flow: fit breakdown
+// times, then project an accelerated test to use conditions.
+func ExampleFitWeibull() {
+	// Six breakdown times from an (imaginary) accelerated test, seconds.
+	times := []float64{1200, 2100, 2600, 3400, 4100, 5800}
+	fit, err := aging.FitWeibull(times)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("beta=%.1f eta=%.0fs points=%d\n", fit.Beta, fit.Eta, fit.N)
+	// Output:
+	// beta=1.9 eta=3692s points=6
+}

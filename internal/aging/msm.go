@@ -1,0 +1,82 @@
+package aging
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// MSMResult is the outcome of a simulated measure-stress-measure NBTI
+// characterisation. The paper (§3.3) stresses that relaxation "greatly
+// complicates the evaluation of NBTI, its modeling, and extrapolating its
+// impact on circuitry": any measurement delay lets part of the shift
+// relax away, distorting both the magnitude and the apparent time
+// exponent. This experiment quantifies that artefact against the model's
+// ground truth — the methodology behind the ultra-fast VT measurements the
+// paper cites ([34] Reisinger et al.).
+type MSMResult struct {
+	// StressTimes are the cumulative stress times at each measurement.
+	StressTimes []float64
+	// True is the instantaneous (zero-delay) shift at each point.
+	True []float64
+	// Measured is the shift seen MeasureDelay seconds after interrupting
+	// the stress.
+	Measured []float64
+	// MeasureDelay is the instrument delay in seconds.
+	MeasureDelay float64
+	// TrueExponent and ApparentExponent are the power-law exponents
+	// extracted from each curve.
+	TrueExponent, ApparentExponent float64
+	// UnderestimatePct is the relative magnitude error at the final
+	// stress time, in percent.
+	UnderestimatePct float64
+}
+
+// MSMExperiment simulates an NBTI characterisation run: stress at oxide
+// field eox and temperature tempK, interrupt at each of stressTimes, wait
+// measureDelay, record the remaining shift. stressTimes must be positive
+// and increasing; measureDelay must be non-negative.
+func MSMExperiment(m *NBTIModel, eox, tempK float64, stressTimes []float64, measureDelay float64) (*MSMResult, error) {
+	if len(stressTimes) < 3 {
+		return nil, fmt.Errorf("aging: MSM needs at least 3 stress times")
+	}
+	if measureDelay < 0 {
+		return nil, fmt.Errorf("aging: negative measurement delay %g", measureDelay)
+	}
+	for i, t := range stressTimes {
+		if t <= 0 || (i > 0 && t <= stressTimes[i-1]) {
+			return nil, fmt.Errorf("aging: stress times must be positive and increasing")
+		}
+	}
+	res := &MSMResult{
+		StressTimes:  append([]float64(nil), stressTimes...),
+		MeasureDelay: measureDelay,
+	}
+	for _, ts := range stressTimes {
+		res.True = append(res.True, m.ShiftDC(eox, tempK, ts))
+		res.Measured = append(res.Measured, m.ShiftAfterRelax(eox, tempK, ts, measureDelay))
+	}
+	_, nTrue, _ := mathx.PowerFit(res.StressTimes, res.True)
+	_, nApp, _ := mathx.PowerFit(res.StressTimes, res.Measured)
+	res.TrueExponent = nTrue
+	res.ApparentExponent = nApp
+	last := len(stressTimes) - 1
+	res.UnderestimatePct = 100 * (res.True[last] - res.Measured[last]) / res.True[last]
+	return res, nil
+}
+
+// ExponentVsDelay sweeps the measurement delay and returns the apparent
+// power-law exponent at each — the canonical plot showing why slow
+// measurement setups systematically over-extract n and why the field moved
+// to microsecond measurements.
+func ExponentVsDelay(m *NBTIModel, eox, tempK float64, stressTimes, delays []float64) ([]float64, error) {
+	out := make([]float64, 0, len(delays))
+	for _, d := range delays {
+		r, err := MSMExperiment(m, eox, tempK, stressTimes, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r.ApparentExponent)
+	}
+	return out, nil
+}

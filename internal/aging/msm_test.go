@@ -1,0 +1,80 @@
+package aging
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestMSMZeroDelayIsTruth(t *testing.T) {
+	m := DefaultNBTI()
+	ts := mathx.Logspace(1, 1e6, 10)
+	res, err := MSMExperiment(m, 5e8, 350, ts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.True {
+		if !mathx.ApproxEqual(res.Measured[i], res.True[i], 1e-12, 0) {
+			t.Fatalf("zero-delay measurement differs from truth at %d", i)
+		}
+	}
+	if res.UnderestimatePct > 1e-9 {
+		t.Error("zero delay must not underestimate")
+	}
+	if !mathx.ApproxEqual(res.TrueExponent, m.N, 1e-9, 0) {
+		t.Errorf("true exponent %g != model %g", res.TrueExponent, m.N)
+	}
+}
+
+func TestMSMDelayUnderestimatesShift(t *testing.T) {
+	m := DefaultNBTI()
+	ts := mathx.Logspace(1, 1e6, 10)
+	res, err := MSMExperiment(m, 5e8, 350, ts, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.True {
+		if res.Measured[i] >= res.True[i] {
+			t.Fatalf("delayed measurement must lose shift at point %d", i)
+		}
+	}
+	if res.UnderestimatePct <= 0 || res.UnderestimatePct >= 60 {
+		t.Errorf("underestimate %.1f%% implausible", res.UnderestimatePct)
+	}
+}
+
+func TestMSMSlowMeasurementInflatesExponent(t *testing.T) {
+	// The classic artefact: short stress times relax proportionally more
+	// during the measurement gap (ξ = delay/tStress is larger), steepening
+	// the apparent power law. Ultra-fast measurement recovers the true n.
+	m := DefaultNBTI()
+	ts := mathx.Logspace(1, 1e6, 12)
+	ns, err := ExponentVsDelay(m, 5e8, 350, ts, []float64{1e-6, 1e-3, 1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i] <= ns[i-1] {
+			t.Fatalf("apparent exponent must grow with delay: %v", ns)
+		}
+	}
+	if ns[0] > m.N*1.1 {
+		t.Errorf("microsecond measurement should recover ~true n: got %g vs %g", ns[0], m.N)
+	}
+	if ns[len(ns)-1] < m.N*1.08 {
+		t.Errorf("100 s delay should visibly inflate n: got %g vs %g", ns[len(ns)-1], m.N)
+	}
+}
+
+func TestMSMValidation(t *testing.T) {
+	m := DefaultNBTI()
+	if _, err := MSMExperiment(m, 5e8, 350, []float64{1, 2}, 0); err == nil {
+		t.Error("too few points accepted")
+	}
+	if _, err := MSMExperiment(m, 5e8, 350, []float64{1, 2, 3}, -1); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := MSMExperiment(m, 5e8, 350, []float64{3, 2, 4}, 0); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+}

@@ -1,0 +1,136 @@
+// Package aging implements the time-dependent degradation mechanisms of the
+// paper's Section 3 — NBTI (Eq. 3) with universal relaxation, HCI (Eq. 2),
+// and TDDB with the SBD/PBD/HBD mode ladder — plus the circuit-level aging
+// scheduler that couples them to the simulator: simulate → extract stress →
+// degrade → re-simulate.
+package aging
+
+import (
+	"fmt"
+	"math"
+)
+
+// boltzmannEV is k in eV/K.
+const boltzmannEV = 8.617333262e-5
+
+// NBTIModel is the negative-bias temperature instability model of Eq. 3:
+//
+//	ΔVT = A · exp(Eox/E0) · exp(−Ea/kT) · t^n
+//
+// augmented with the universal relaxation behaviour described in the paper:
+// after stress removal the recoverable component decays approximately
+// logarithmically over many decades, while a permanent component locks in.
+type NBTIModel struct {
+	// A is the process prefactor in volts.
+	A float64
+	// E0 is the oxide-field acceleration constant in V/m.
+	E0 float64
+	// Ea is the thermal activation energy in eV.
+	Ea float64
+	// N is the power-law time exponent (0.15-0.25 in literature).
+	N float64
+	// PermFrac is the fraction of the shift that never recovers.
+	PermFrac float64
+	// RelaxB and RelaxBeta parameterise the universal relaxation function
+	// r(ξ) = 1/(1 + RelaxB·ξ^RelaxBeta), ξ = t_relax/t_stress.
+	RelaxB, RelaxBeta float64
+}
+
+// DefaultNBTI returns parameters calibrated to give ~40 mV of DC shift
+// after 10 years at a 5 MV/cm oxide field and 300 K — representative of the
+// nanometer nodes the paper discusses.
+func DefaultNBTI() *NBTIModel {
+	return &NBTIModel{
+		A:         0.16,
+		E0:        1e9,
+		Ea:        0.15,
+		N:         0.2,
+		PermFrac:  0.4,
+		RelaxB:    0.6,
+		RelaxBeta: 0.17,
+	}
+}
+
+// ShiftDC returns the threshold shift in volts after tStress seconds of
+// uninterrupted stress at oxide field eox (V/m) and temperature tempK.
+func (m *NBTIModel) ShiftDC(eox, tempK, tStress float64) float64 {
+	if tStress <= 0 {
+		return 0
+	}
+	return m.prefactor(eox, tempK) * math.Pow(tStress, m.N)
+}
+
+// prefactor is the stress-dependent K in ΔVT = K·t^n.
+func (m *NBTIModel) prefactor(eox, tempK float64) float64 {
+	return m.A * math.Exp(eox/m.E0) * math.Exp(-m.Ea/(boltzmannEV*tempK))
+}
+
+// RelaxFactor returns the universal relaxation fraction r(ξ) ∈ (0, 1] for
+// relaxation time tRelax after stress time tStress; the recoverable
+// component is multiplied by it. r spans many time decades, matching the
+// microsecond-to-days relaxation reported in the paper.
+func (m *NBTIModel) RelaxFactor(tStress, tRelax float64) float64 {
+	if tRelax <= 0 || tStress <= 0 {
+		return 1
+	}
+	xi := tRelax / tStress
+	return 1 / (1 + m.RelaxB*math.Pow(xi, m.RelaxBeta))
+}
+
+// ShiftAfterRelax returns the remaining shift tRelax seconds after the end
+// of a tStress DC stress: the permanent part plus the relaxed recoverable
+// part.
+func (m *NBTIModel) ShiftAfterRelax(eox, tempK, tStress, tRelax float64) float64 {
+	total := m.ShiftDC(eox, tempK, tStress)
+	perm := m.PermFrac * total
+	rec := (1 - m.PermFrac) * total
+	return perm + rec*m.RelaxFactor(tStress, tRelax)
+}
+
+// ShiftAC returns the quasi-static envelope for periodic gate stress with
+// the given duty factor ∈ (0, 1]: the device accumulates stress for
+// duty·t seconds, and the recoverable component settles to the per-cycle
+// relaxation depth r(ξ) with ξ = (1−duty)/duty.
+func (m *NBTIModel) ShiftAC(eox, tempK, t, duty float64) float64 {
+	if duty <= 0 {
+		return 0
+	}
+	if duty > 1 {
+		panic(fmt.Sprintf("aging: duty factor %g > 1", duty))
+	}
+	total := m.ShiftDC(eox, tempK, duty*t)
+	if duty == 1 {
+		return total
+	}
+	perm := m.PermFrac * total
+	rec := (1 - m.PermFrac) * total
+	xi := (1 - duty) / duty
+	return perm + rec/(1+m.RelaxB*math.Pow(xi, m.RelaxBeta))
+}
+
+// MobilityFactor returns the mobility multiplier associated with an NBTI
+// threshold shift: interface traps that shift VT also scatter carriers.
+// The coupling uses the common linear-in-ΔVT first-order model.
+func (m *NBTIModel) MobilityFactor(deltaVT float64) float64 {
+	f := 1 - 0.5*deltaVT
+	if f < 0.5 {
+		f = 0.5
+	}
+	return f
+}
+
+// advancePowerLaw advances a power-law degradation dvt = K·t^n by dt under
+// a possibly changed prefactor K, using the equivalent-time transformation:
+// the current dvt is converted to an equivalent stress time under K and the
+// law is then advanced by dt. This is the standard way to integrate
+// power-law aging under time-varying stress.
+func advancePowerLaw(dvt, k, n, dt float64) float64 {
+	if dt <= 0 || k <= 0 {
+		return dvt
+	}
+	teq := 0.0
+	if dvt > 0 {
+		teq = math.Pow(dvt/k, 1/n)
+	}
+	return k * math.Pow(teq+dt, n)
+}

@@ -1,0 +1,182 @@
+package aging
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestNBTIPowerLawExponent(t *testing.T) {
+	m := DefaultNBTI()
+	ts := mathx.Logspace(1, 1e8, 20)
+	ys := make([]float64, len(ts))
+	for i, tt := range ts {
+		ys[i] = m.ShiftDC(5e8, 350, tt)
+	}
+	_, n, r2 := mathx.PowerFit(ts, ys)
+	if !mathx.ApproxEqual(n, m.N, 1e-9, 0) || r2 < 1-1e-12 {
+		t.Errorf("extracted exponent %g (r2=%g), want %g", n, r2, m.N)
+	}
+}
+
+func TestNBTIFieldAndTemperatureAcceleration(t *testing.T) {
+	m := DefaultNBTI()
+	base := m.ShiftDC(4e8, 300, 1e6)
+	if hi := m.ShiftDC(6e8, 300, 1e6); hi <= base {
+		t.Errorf("field acceleration missing: %g <= %g", hi, base)
+	}
+	if hot := m.ShiftDC(4e8, 400, 1e6); hot <= base {
+		t.Errorf("temperature acceleration missing: %g <= %g", hot, base)
+	}
+	// Eq. 3 field dependence is exactly exponential in Eox.
+	r1 := m.ShiftDC(5e8, 300, 1e6) / m.ShiftDC(4e8, 300, 1e6)
+	r2 := m.ShiftDC(6e8, 300, 1e6) / m.ShiftDC(5e8, 300, 1e6)
+	if !mathx.ApproxEqual(r1, r2, 1e-9, 0) {
+		t.Errorf("field dependence not exponential: ratios %g vs %g", r1, r2)
+	}
+}
+
+func TestNBTIMagnitudeTenYears(t *testing.T) {
+	// The calibration target: tens of mV over a 10-year life at use
+	// conditions.
+	m := DefaultNBTI()
+	const tenYears = 10 * 365.25 * 24 * 3600
+	dvt := m.ShiftDC(5e8, 300, tenYears)
+	if dvt < 0.02 || dvt > 0.10 {
+		t.Errorf("10-year shift %g V outside the plausible 20-100 mV band", dvt)
+	}
+}
+
+func TestNBTIRelaxationMonotoneAndBounded(t *testing.T) {
+	m := DefaultNBTI()
+	eox, temp, ts := 5e8, 350.0, 1e5
+	full := m.ShiftDC(eox, temp, ts)
+	prev := full
+	for _, tr := range mathx.Logspace(1e-6, 1e8, 30) {
+		v := m.ShiftAfterRelax(eox, temp, ts, tr)
+		if v > prev+1e-15 {
+			t.Fatalf("relaxation not monotone at tRelax=%g", tr)
+		}
+		if v < m.PermFrac*full-1e-15 {
+			t.Fatalf("relaxed below the permanent floor at tRelax=%g: %g < %g", tr, v, m.PermFrac*full)
+		}
+		prev = v
+	}
+	// Long relaxation approaches (but never reaches) the permanent part.
+	late := m.ShiftAfterRelax(eox, temp, ts, 1e12)
+	if late > 0.6*full {
+		t.Errorf("after huge relaxation %g should be close to permanent %g", late, m.PermFrac*full)
+	}
+}
+
+func TestNBTIRelaxSpansDecades(t *testing.T) {
+	// The paper: relaxation has ~logarithmic time dependence spanning
+	// microseconds to days. Check r(ξ) drops gradually, not as a step:
+	// each decade of relaxation removes a modest additional fraction.
+	m := DefaultNBTI()
+	const ts = 1e3
+	drops := []float64{}
+	prev := m.RelaxFactor(ts, 1e-6)
+	for _, tr := range mathx.Logspace(1e-5, 1e5, 11) {
+		cur := m.RelaxFactor(ts, tr)
+		drops = append(drops, prev-cur)
+		prev = cur
+	}
+	for i, d := range drops {
+		if d < 0 {
+			t.Fatalf("relax factor rose at decade %d", i)
+		}
+		if d > 0.35 {
+			t.Errorf("decade %d removed %g of the recoverable part — too step-like", i, d)
+		}
+	}
+}
+
+func TestNBTIACDutyBehaviour(t *testing.T) {
+	m := DefaultNBTI()
+	eox, temp, tt := 5e8, 350.0, 1e7
+	dc := m.ShiftDC(eox, temp, tt)
+	if got := m.ShiftAC(eox, temp, tt, 1); !mathx.ApproxEqual(got, dc, 1e-12, 0) {
+		t.Errorf("duty=1 AC %g != DC %g", got, dc)
+	}
+	if got := m.ShiftAC(eox, temp, tt, 0); got != 0 {
+		t.Errorf("duty=0 should give 0, got %g", got)
+	}
+	prev := 0.0
+	for _, d := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+		v := m.ShiftAC(eox, temp, tt, d)
+		if v <= prev {
+			t.Fatalf("AC shift not increasing with duty at %g", d)
+		}
+		prev = v
+	}
+	half := m.ShiftAC(eox, temp, tt, 0.5)
+	if half >= dc || half < 0.2*dc {
+		t.Errorf("50%% duty shift %g should be a substantial fraction of DC %g", half, dc)
+	}
+}
+
+func TestNBTIACPanicsOnBadDuty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultNBTI().ShiftAC(5e8, 300, 1e6, 1.5)
+}
+
+func TestAdvancePowerLawMatchesClosedForm(t *testing.T) {
+	k, n := 2e-3, 0.25
+	// Single step vs many small steps must agree (consistency of the
+	// equivalent-time transformation under constant stress).
+	direct := k * math.Pow(1e6, n)
+	stepped := 0.0
+	for i := 0; i < 100; i++ {
+		stepped = advancePowerLaw(stepped, k, n, 1e4)
+	}
+	if !mathx.ApproxEqual(stepped, direct, 1e-9, 0) {
+		t.Errorf("stepped %g != direct %g", stepped, direct)
+	}
+}
+
+func TestAdvancePowerLawVaryingStress(t *testing.T) {
+	// Raising the prefactor mid-life must accelerate (higher final value
+	// than staying at low stress, lower than all-high stress).
+	n := 0.3
+	lowOnly := advancePowerLaw(0, 1e-3, n, 2e6)
+	highOnly := advancePowerLaw(0, 5e-3, n, 2e6)
+	mixed := advancePowerLaw(advancePowerLaw(0, 1e-3, n, 1e6), 5e-3, n, 1e6)
+	if !(lowOnly < mixed && mixed < highOnly) {
+		t.Errorf("equivalent-time ordering broken: %g, %g, %g", lowOnly, mixed, highOnly)
+	}
+}
+
+func TestAdvancePowerLawProperties(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		k := 1e-4 + 1e-3*r.Float64()
+		n := 0.1 + 0.5*r.Float64()
+		dvt := 1e-3 * r.Float64()
+		dt := 1e3 * r.Float64()
+		out := advancePowerLaw(dvt, k, n, dt)
+		// Monotone non-decreasing; zero dt is identity.
+		return out >= dvt && advancePowerLaw(dvt, k, n, 0) == dvt
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNBTIMobilityCoupling(t *testing.T) {
+	m := DefaultNBTI()
+	if m.MobilityFactor(0) != 1 {
+		t.Error("fresh mobility must be 1")
+	}
+	if f := m.MobilityFactor(0.05); f >= 1 || f < 0.9 {
+		t.Errorf("mobility factor %g implausible for 50 mV shift", f)
+	}
+	if f := m.MobilityFactor(10); f < 0.5 {
+		t.Error("mobility factor must be floored")
+	}
+}

@@ -1,0 +1,150 @@
+package aging
+
+import (
+	"testing"
+)
+
+func TestNBTITraceSawtooth(t *testing.T) {
+	m := DefaultNBTI()
+	schedule := []Phase{
+		{Duration: 1e4, Stressed: true},
+		{Duration: 1e4, Stressed: false},
+		{Duration: 1e4, Stressed: true},
+		{Duration: 1e4, Stressed: false},
+	}
+	trace, err := NBTITrace(m, 5e8, 350, schedule, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) < 40 {
+		t.Fatalf("trace too sparse: %d points", len(trace))
+	}
+	// Time must be non-decreasing.
+	for i := 1; i < len(trace); i++ {
+		if trace[i].T < trace[i-1].T {
+			t.Fatalf("time went backwards at %d", i)
+		}
+	}
+	// Within the first stress phase the shift grows monotonically.
+	var firstStressEnd int
+	for i, p := range trace {
+		if !p.Stressed {
+			firstStressEnd = i
+			break
+		}
+	}
+	for i := 1; i < firstStressEnd; i++ {
+		if trace[i].DeltaVT < trace[i-1].DeltaVT {
+			t.Fatal("shift must grow under stress")
+		}
+	}
+	// Within the first relax phase the shift decays.
+	peak := trace[firstStressEnd-1].DeltaVT
+	relaxEnd := firstStressEnd
+	for relaxEnd < len(trace) && !trace[relaxEnd].Stressed {
+		relaxEnd++
+	}
+	trough := trace[relaxEnd-1].DeltaVT
+	if trough >= peak {
+		t.Fatalf("no relaxation: peak %g, trough %g", peak, trough)
+	}
+	if trough < m.PermFrac*peak {
+		t.Fatalf("relaxed below the permanent floor: %g < %g", trough, m.PermFrac*peak)
+	}
+	// The second stress phase must exceed the first peak (ratcheting).
+	final := trace[len(trace)-1]
+	maxAll := 0.0
+	for _, p := range trace {
+		if p.DeltaVT > maxAll {
+			maxAll = p.DeltaVT
+		}
+	}
+	if maxAll <= peak {
+		t.Error("second stress cycle should ratchet above the first peak")
+	}
+	_ = final
+}
+
+func TestNBTITraceStartsRelaxed(t *testing.T) {
+	m := DefaultNBTI()
+	trace, err := NBTITrace(m, 5e8, 350, []Phase{
+		{Duration: 100, Stressed: false},
+		{Duration: 100, Stressed: true},
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace[0].DeltaVT != 0 {
+		t.Error("unstressed device must show zero shift")
+	}
+	if trace[len(trace)-1].DeltaVT <= 0 {
+		t.Error("stress after idle must degrade")
+	}
+}
+
+func TestNBTITraceValidation(t *testing.T) {
+	m := DefaultNBTI()
+	if _, err := NBTITrace(m, 5e8, 350, nil, 10); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := NBTITrace(m, 5e8, 350, []Phase{{Duration: -1, Stressed: true}}, 10); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if _, err := NBTITrace(m, 5e8, 350, []Phase{{Duration: 1, Stressed: true}}, 1); err == nil {
+		t.Error("single sample accepted")
+	}
+}
+
+func TestPeriodicSchedule(t *testing.T) {
+	sch, err := PeriodicSchedule(1e3, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch) != 6 {
+		t.Fatalf("schedule has %d phases", len(sch))
+	}
+	total := 0.0
+	stressTotal := 0.0
+	for _, p := range sch {
+		total += p.Duration
+		if p.Stressed {
+			stressTotal += p.Duration
+		}
+	}
+	if total != 3e3 || stressTotal != 0.25*3e3 {
+		t.Errorf("durations wrong: total %g, stressed %g", total, stressTotal)
+	}
+	if _, err := PeriodicSchedule(1, 1.0, 3); err == nil {
+		t.Error("duty=1 accepted")
+	}
+	if _, err := PeriodicSchedule(1, 0.5, 0); err == nil {
+		t.Error("zero cycles accepted")
+	}
+}
+
+func TestPeriodicTraceBelowDC(t *testing.T) {
+	// After many 50% duty cycles the envelope must sit below an
+	// uninterrupted DC stress of the same wall-clock duration.
+	m := DefaultNBTI()
+	sch, err := PeriodicSchedule(1e3, 0.5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := NBTITrace(m, 5e8, 350, sch, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxAC := 0.0
+	for _, p := range trace {
+		if p.DeltaVT > maxAC {
+			maxAC = p.DeltaVT
+		}
+	}
+	dc := m.ShiftDC(5e8, 350, 20*1e3)
+	if maxAC >= dc {
+		t.Errorf("AC envelope %g should stay below DC %g", maxAC, dc)
+	}
+	if maxAC < 0.3*dc {
+		t.Errorf("AC envelope %g implausibly far below DC %g", maxAC, dc)
+	}
+}

@@ -1,0 +1,183 @@
+package aging
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestFitWeibullRecoversParameters(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	w := mathx.NewWeibull(2.2, 1e6)
+	times := make([]float64, 500)
+	for i := range times {
+		times[i] = w.Sample(rng)
+	}
+	fit, err := FitWeibull(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median-rank regression carries a modest downward beta bias; accept
+	// ±15 %.
+	if !mathx.ApproxEqual(fit.Beta, 2.2, 0.15, 0) {
+		t.Errorf("beta = %g, want ~2.2", fit.Beta)
+	}
+	if !mathx.ApproxEqual(fit.Eta, 1e6, 0.1, 0) {
+		t.Errorf("eta = %g, want ~1e6", fit.Eta)
+	}
+	if fit.R2 < 0.95 {
+		t.Errorf("r² = %g too low for clean Weibull data", fit.R2)
+	}
+	if fit.N != 500 {
+		t.Errorf("N = %d", fit.N)
+	}
+}
+
+func TestFitWeibullValidation(t *testing.T) {
+	if _, err := FitWeibull([]float64{1, 2}); err == nil {
+		t.Error("two failures accepted")
+	}
+	if _, err := FitWeibull([]float64{1, -2, 3, 4}); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := FitWeibullCensored([]float64{1, 2, 3}, []bool{true, true}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// All suspensions: no failures to fit.
+	if _, err := FitWeibullCensored([]float64{1, 2, 3, 4}, []bool{false, false, false, true}); err == nil {
+		t.Error("one failure accepted")
+	}
+}
+
+func TestFitWeibullCensoredUnbiased(t *testing.T) {
+	// Type-I censoring at eta: roughly 63% fail; the censored fit should
+	// still recover the parameters, while a naive fit that drops
+	// suspensions and re-ranks would bias eta low.
+	rng := mathx.NewRNG(7)
+	w := mathx.NewWeibull(3, 1000)
+	const n = 600
+	times := make([]float64, n)
+	failed := make([]bool, n)
+	const censorAt = 1000.0
+	for i := range times {
+		s := w.Sample(rng)
+		if s <= censorAt {
+			times[i], failed[i] = s, true
+		} else {
+			times[i], failed[i] = censorAt, false
+		}
+	}
+	fit, err := FitWeibullCensored(times, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(fit.Eta, 1000, 0.12, 0) {
+		t.Errorf("censored eta = %g, want ~1000", fit.Eta)
+	}
+	if !mathx.ApproxEqual(fit.Beta, 3, 0.25, 0) {
+		t.Errorf("censored beta = %g, want ~3", fit.Beta)
+	}
+
+	// The naive estimate (failures only, ranked among themselves).
+	var failuresOnly []float64
+	for i := range times {
+		if failed[i] {
+			failuresOnly = append(failuresOnly, times[i])
+		}
+	}
+	naive, err := FitWeibull(failuresOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(naive.Eta-1000) <= math.Abs(fit.Eta-1000) {
+		t.Logf("note: naive eta %g happened to beat censored %g on this draw", naive.Eta, fit.Eta)
+	}
+	if naive.Eta >= 1000 {
+		t.Errorf("naive fit should underestimate eta, got %g", naive.Eta)
+	}
+}
+
+func TestFitWeibullOnTDDBStateMachine(t *testing.T) {
+	// End-to-end: breakdown times produced by the TDDB state machine must
+	// fit back to the model's own Weibull parameters.
+	m := DefaultTDDB()
+	eox, temp, area, tox := 1.1e9, 330.0, 1e-12, 2.0
+	rng := mathx.NewRNG(11)
+	eta := m.Eta(eox, temp, area, tox)
+	dt := eta / 300
+	var times []float64
+	for i := 0; i < 400; i++ {
+		st := m.NewTDDBState(area, tox, rng)
+		tt := 0.0
+		for st.Mode == Fresh && tt < 50*eta {
+			m.Advance(st, dt, eox, temp, area)
+			tt += dt
+		}
+		times = append(times, tt)
+	}
+	fit, err := FitWeibull(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(fit.Beta, m.WeibullSlope(tox), 0.15, 0) {
+		t.Errorf("state-machine beta = %g, model %g", fit.Beta, m.WeibullSlope(tox))
+	}
+	if !mathx.ApproxEqual(fit.Eta, eta, 0.1, 0) {
+		t.Errorf("state-machine eta = %g, model %g", fit.Eta, eta)
+	}
+}
+
+func TestProjectedLifetime(t *testing.T) {
+	m := DefaultTDDB()
+	fit := &WeibullFit{Beta: 1.5, Eta: 1e5} // accelerated-test result
+	// Relaxing the field and temperature must stretch the lifetime.
+	useLife, err := m.ProjectedLifetime(fit, 1.2e9, 400, 5e8, 330, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stressLife := mathx.NewWeibull(fit.Beta, fit.Eta).Quantile(0.001)
+	if useLife <= stressLife {
+		t.Errorf("use-condition life %g must exceed stress life %g", useLife, stressLife)
+	}
+	if useLife/stressLife < 1e3 {
+		t.Errorf("field+temperature relaxation should buy decades, got ×%g", useLife/stressLife)
+	}
+	if _, err := m.ProjectedLifetime(fit, 1e9, 400, 5e8, 330, 1.5); err == nil {
+		t.Error("bad failure target accepted")
+	}
+}
+
+func TestSILCGrowsBeforeBreakdown(t *testing.T) {
+	m := DefaultTDDB()
+	st := m.NewTDDBState(1e-12, 2.0, mathx.NewRNG(5))
+	if st.Leak() != 0 {
+		t.Fatal("new oxide must not leak")
+	}
+	eta := m.Eta(9e8, 330, 1e-12, 2.0)
+	var prev float64
+	sawPreBDLeak := false
+	for st.Mode == Fresh {
+		m.Advance(st, eta/50, 9e8, 330, 1e-12)
+		if st.Mode != Fresh {
+			break
+		}
+		if st.Leak() < prev {
+			t.Fatal("SILC must grow monotonically")
+		}
+		if st.Leak() > 0 {
+			sawPreBDLeak = true
+		}
+		if st.Leak() > m.GSoft {
+			t.Fatalf("SILC %g exceeded the soft-BD conductance", st.Leak())
+		}
+		prev = st.Leak()
+	}
+	if !sawPreBDLeak {
+		t.Error("no SILC observed before breakdown")
+	}
+	// Breakdown jumps the leak discontinuously above the SILC level.
+	if st.Leak() < m.GSoft {
+		t.Errorf("post-BD leak %g below GSoft", st.Leak())
+	}
+}

@@ -1,0 +1,66 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/linalg"
+)
+
+// ACPoint is the small-signal response at one frequency.
+type ACPoint struct {
+	// Freq is the analysis frequency in hertz.
+	Freq float64
+	// V maps node name to complex small-signal voltage.
+	V map[string]complex128
+}
+
+// Mag returns |V(node)| at this point.
+func (p *ACPoint) Mag(node string) float64 { return cmplx.Abs(p.V[node]) }
+
+// MagDB returns 20·log10|V(node)|.
+func (p *ACPoint) MagDB(node string) float64 { return 20 * math.Log10(p.Mag(node)) }
+
+// PhaseDeg returns the phase of V(node) in degrees.
+func (p *ACPoint) PhaseDeg(node string) float64 {
+	return cmplx.Phase(p.V[node]) * 180 / math.Pi
+}
+
+// AC linearises the circuit at its DC operating point and solves the
+// complex small-signal system at each frequency in freqs. Stimulus comes
+// from sources with non-zero ACMag.
+func (c *Circuit) AC(freqs []float64) ([]ACPoint, error) {
+	c.prepare()
+	sol, err := c.OperatingPoint()
+	if err != nil {
+		return nil, fmt.Errorf("circuit: AC operating point: %w", err)
+	}
+	n := c.NumUnknowns()
+	out := make([]ACPoint, 0, len(freqs))
+	for _, f := range freqs {
+		if f <= 0 {
+			return nil, fmt.Errorf("circuit: non-positive AC frequency %g", f)
+		}
+		omega := 2 * math.Pi * f
+		m := linalg.NewCMatrix(n, n)
+		rhs := make([]complex128, n)
+		for _, e := range c.elements {
+			as, ok := e.(acStamper)
+			if !ok {
+				return nil, fmt.Errorf("circuit: element %q (%T) does not support AC analysis", e.name(), e)
+			}
+			as.stampAC(m, rhs, omega, sol.X)
+		}
+		x, err := linalg.CSolve(m, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: AC solve at %g Hz: %w", f, err)
+		}
+		pt := ACPoint{Freq: f, V: make(map[string]complex128, len(c.nodeNames))}
+		for i, name := range c.nodeNames {
+			pt.V[name] = x[i]
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

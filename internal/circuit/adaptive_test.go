@@ -1,0 +1,143 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/mathx"
+)
+
+func TestAdaptiveSpecValidation(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "a", "0", DC(1))
+	c.AddResistor("R1", "a", "0", 1e3)
+	bad := []AdaptiveSpec{
+		{Stop: 0, MinStep: 1e-9, MaxStep: 1e-6, LTETol: 1e-3},
+		{Stop: 1e-3, MinStep: 0, MaxStep: 1e-6, LTETol: 1e-3},
+		{Stop: 1e-3, MinStep: 1e-6, MaxStep: 1e-9, LTETol: 1e-3},
+		{Stop: 1e-3, MinStep: 1e-9, MaxStep: 1e-6, LTETol: 0},
+	}
+	for i, s := range bad {
+		if _, err := c.TransientAdaptive(s); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestAdaptiveRCMatchesAnalytic(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "in", "0", Pulse{Low: 0, High: 5, Rise: 1e-9, Width: 1, Period: 2})
+	c.AddResistor("R1", "in", "out", 1e3)
+	c.AddCapacitor("C1", "out", "0", 1e-6) // tau = 1 ms
+	wf, err := c.TransientAdaptive(AdaptiveSpec{
+		Stop: 5e-3, MinStep: 1e-8, MaxStep: 2e-4, LTETol: 2e-3,
+		Integrator: Trapezoidal, Record: []string{"out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i, tm := range wf.Times {
+		want := 5 * (1 - math.Exp(-tm/1e-3))
+		if d := math.Abs(wf.Node("out")[i] - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.02 {
+		t.Errorf("worst deviation %g V from analytic RC response", worst)
+	}
+}
+
+func TestAdaptiveUsesFewerPointsThanFixed(t *testing.T) {
+	// Same RC accuracy budget: adaptive should need far fewer points than
+	// a fixed step small enough to resolve the initial edge.
+	build := func() *Circuit {
+		c := New()
+		c.AddVSource("V1", "in", "0", Pulse{Low: 0, High: 5, Rise: 1e-9, Width: 1, Period: 2})
+		c.AddResistor("R1", "in", "out", 1e3)
+		c.AddCapacitor("C1", "out", "0", 1e-6)
+		return c
+	}
+	cAd := build()
+	wfAd, err := cAd.TransientAdaptive(AdaptiveSpec{
+		Stop: 5e-3, MinStep: 1e-8, MaxStep: 2e-4, LTETol: 2e-3,
+		Integrator: Trapezoidal, Record: []string{"out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFx := build()
+	wfFx, err := cFx.Transient(TranSpec{
+		Stop: 5e-3, Step: 2e-6, Integrator: Trapezoidal, Record: []string{"out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wfAd.Times)*4 >= len(wfFx.Times) {
+		t.Errorf("adaptive used %d points vs fixed %d — expected ≥4× savings",
+			len(wfAd.Times), len(wfFx.Times))
+	}
+}
+
+func TestAdaptiveTimesMonotoneAndBounded(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "in", "0", Sine{Ampl: 1, Freq: 5e3})
+	c.AddResistor("R1", "in", "out", 1e3)
+	c.AddCapacitor("C1", "out", "0", 1e-8)
+	spec := AdaptiveSpec{
+		Stop: 1e-3, MinStep: 1e-8, MaxStep: 5e-5, LTETol: 1e-3,
+		Integrator: Trapezoidal, Record: []string{"out"},
+	}
+	wf, err := c.TransientAdaptive(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(wf.Times); i++ {
+		dt := wf.Times[i] - wf.Times[i-1]
+		if dt <= 0 {
+			t.Fatalf("time not increasing at %d", i)
+		}
+		if dt > spec.MaxStep*1.0001 {
+			t.Fatalf("step %g exceeds MaxStep", dt)
+		}
+	}
+	if last := wf.Times[len(wf.Times)-1]; !mathx.ApproxEqual(last, spec.Stop, 1e-9, 1e-12) {
+		t.Errorf("simulation ended at %g, want %g", last, spec.Stop)
+	}
+}
+
+func TestAdaptiveHandlesNonlinearEdge(t *testing.T) {
+	// A MOSFET inverter driven by a slow ramp: the step must shrink
+	// around the switching threshold and the output must still swing
+	// fully.
+	c := inverterForAdaptive()
+	wf, err := c.TransientAdaptive(AdaptiveSpec{
+		Stop: 1e-6, MinStep: 1e-12, MaxStep: 5e-8, LTETol: 5e-3,
+		Integrator: Trapezoidal, Record: []string{"out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := wf.Node("out")
+	if out[0] < 1.0 {
+		t.Errorf("initial output %g, want ~VDD", out[0])
+	}
+	if out[len(out)-1] > 0.1 {
+		t.Errorf("final output %g, want ~0", out[len(out)-1])
+	}
+}
+
+func inverterForAdaptive() *Circuit {
+	c := New()
+	c.AddVSource("VDD", "vdd", "0", DC(1.1))
+	c.AddVSource("VIN", "in", "0", PWL{
+		Times:  []float64{0, 1e-6},
+		Values: []float64{0, 1.1},
+	})
+	c.AddResistor("RUP", "vdd", "out", 50e3)
+	mn := device.NewMosfet(device.MustTech("90nm").NMOSParams(1e-6, 90e-9, 300))
+	c.AddMOSFET("MN", "out", "in", "0", "0", mn)
+	c.AddCapacitor("CL", "out", "0", 10e-15)
+	return c
+}

@@ -1,0 +1,63 @@
+package circuit_test
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Example shows the minimal simulator flow: build a divider, solve its
+// operating point, read a node voltage.
+func Example() {
+	c := circuit.New()
+	c.AddVSource("V1", "in", "0", circuit.DC(3.0))
+	c.AddResistor("R1", "in", "out", 2e3)
+	c.AddResistor("R2", "out", "0", 1e3)
+	sol, err := c.OperatingPoint()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("V(out) = %.2f V\n", sol.Voltage("out"))
+	// Output:
+	// V(out) = 1.00 V
+}
+
+// ExampleCircuit_Transient charges an RC and samples the classic 63% point
+// at one time constant.
+func ExampleCircuit_Transient() {
+	c := circuit.New()
+	c.AddVSource("V1", "in", "0", circuit.Pulse{High: 1, Rise: 1e-9, Width: 1, Period: 2})
+	c.AddResistor("R1", "in", "out", 1e3)
+	c.AddCapacitor("C1", "out", "0", 1e-6) // tau = 1 ms
+	wf, err := c.Transient(circuit.TranSpec{
+		Stop: 1e-3, Step: 1e-6,
+		Integrator: circuit.Trapezoidal,
+		Record:     []string{"out"},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	out := wf.Node("out")
+	fmt.Printf("V(out) at t=tau: %.2f V\n", out[len(out)-1])
+	// Output:
+	// V(out) at t=tau: 0.63 V
+}
+
+// ExampleCircuit_AC measures the -3 dB corner of an RC low-pass.
+func ExampleCircuit_AC() {
+	c := circuit.New()
+	v := c.AddVSource("V1", "in", "0", circuit.DC(0))
+	v.ACMag = 1
+	c.AddResistor("R1", "in", "out", 1e3)
+	c.AddCapacitor("C1", "out", "0", 159.155e-9) // fc = 1 kHz
+	pts, err := c.AC([]float64{1e3})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("gain at fc: %.2f dB\n", pts[0].MagDB("out"))
+	// Output:
+	// gain at fc: -3.01 dB
+}

@@ -1,0 +1,227 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// ErrNoConvergence is returned when Newton iteration fails even after gmin
+// and source-stepping homotopies.
+var ErrNoConvergence = errors.New("circuit: operating point did not converge")
+
+// Solution holds a converged DC solution: node voltages plus branch
+// currents.
+type Solution struct {
+	circ *Circuit
+	X    []float64
+}
+
+// Voltage returns the solved voltage of the named node (0 for ground). It
+// panics on unknown node names — asking for a node that does not exist is
+// a programming error in the caller.
+func (s *Solution) Voltage(node string) float64 {
+	if node == "0" || node == "gnd" || node == "GND" {
+		return 0
+	}
+	i, ok := s.circ.nodeIndex[node]
+	if !ok {
+		panic(fmt.Sprintf("circuit: unknown node %q", node))
+	}
+	return s.X[i]
+}
+
+// BranchCurrent returns the current through the named voltage source or
+// inductor (positive flowing from the + terminal through the element).
+func (s *Solution) BranchCurrent(name string) (float64, error) {
+	e, ok := s.circ.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("circuit: no element %q", name)
+	}
+	be, ok := e.(branchElement)
+	if !ok {
+		return 0, fmt.Errorf("circuit: element %q carries no branch current", name)
+	}
+	return s.X[be.branchIndex()], nil
+}
+
+// opConfig collects operating-point solver tuning.
+type opConfig struct {
+	maxIter int
+	tolV    float64
+	damping float64
+}
+
+func defaultOPConfig() opConfig {
+	return opConfig{maxIter: 300, tolV: 1e-9, damping: 0.5}
+}
+
+// OperatingPoint solves the nonlinear DC system. It tries plain Newton
+// first, then gmin stepping, then source stepping; this three-stage ladder
+// mirrors production SPICE behaviour.
+func (c *Circuit) OperatingPoint() (*Solution, error) {
+	c.prepare()
+	n := c.NumUnknowns()
+	if n == 0 {
+		return nil, errors.New("circuit: empty circuit")
+	}
+	cfg := defaultOPConfig()
+
+	// Stage 1: plain Newton from a zero start.
+	x := make([]float64, n)
+	if err := c.newtonDC(x, 0, 1, cfg); err == nil {
+		c.captureAll(x)
+		return &Solution{circ: c, X: x}, nil
+	}
+
+	// Stage 2: gmin stepping. Start with a heavy leak to ground and relax
+	// it decade by decade, warm-starting each solve.
+	x = make([]float64, n)
+	ok := true
+	for _, gmin := range []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 0} {
+		if err := c.newtonDC(x, gmin, 1, cfg); err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		c.captureAll(x)
+		return &Solution{circ: c, X: x}, nil
+	}
+
+	// Stage 3: source stepping — ramp all independent sources from 0.
+	x = make([]float64, n)
+	for _, scale := range []float64{0.02, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0} {
+		if err := c.newtonDC(x, 0, scale, cfg); err != nil {
+			return nil, fmt.Errorf("%w (source stepping failed at scale %g: %v)", ErrNoConvergence, scale, err)
+		}
+	}
+	c.captureAll(x)
+	return &Solution{circ: c, X: x}, nil
+}
+
+// captureAll records operating points on MOSFET elements.
+func (c *Circuit) captureAll(x []float64) {
+	for _, e := range c.elements {
+		if m, ok := e.(*MOSFET); ok {
+			m.capture(x)
+		}
+	}
+}
+
+// newtonDC iterates the DC system in place from the initial guess in x.
+func (c *Circuit) newtonDC(x []float64, gmin, srcScale float64, cfg opConfig) error {
+	n := len(x)
+	a := linalg.NewMatrix(n, n)
+	st := &stamp{
+		A: a, Rhs: make([]float64, n), X: x,
+		Mode: modeDC, Gmin: gmin, SrcScale: srcScale,
+	}
+	for iter := 0; iter < cfg.maxIter; iter++ {
+		a.Zero()
+		for i := range st.Rhs {
+			st.Rhs[i] = 0
+		}
+		for _, e := range c.elements {
+			e.stampInto(st)
+		}
+		f, err := linalg.Factor(a)
+		if err != nil {
+			return fmt.Errorf("circuit: singular MNA matrix: %w", err)
+		}
+		xNew := f.Solve(st.Rhs)
+		// Damped update: limit the largest voltage change per iteration to
+		// keep the exponential models inside representable range.
+		maxStep := 0.0
+		for i := range x {
+			if d := math.Abs(xNew[i] - x[i]); d > maxStep {
+				maxStep = d
+			}
+		}
+		alpha := 1.0
+		const stepLimit = 0.6 // volts per iteration
+		if maxStep > stepLimit {
+			alpha = stepLimit / maxStep
+		}
+		var delta float64
+		for i := range x {
+			d := alpha * (xNew[i] - x[i])
+			x[i] += d
+			if ad := math.Abs(d); ad > delta {
+				delta = ad
+			}
+		}
+		if anyNaN(x) {
+			return errors.New("circuit: NaN in solution")
+		}
+		if delta < cfg.tolV && alpha == 1 {
+			return nil
+		}
+	}
+	return ErrNoConvergence
+}
+
+func anyNaN(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// DCSweep solves the operating point while stepping the waveform of the
+// named source (which must be a VSource or ISource with a DC waveform)
+// through values, warm-starting each point from the previous one. It
+// returns one Solution per value.
+func (c *Circuit) DCSweep(sourceName string, values []float64) ([]*Solution, error) {
+	c.prepare()
+	e, ok := c.byName[sourceName]
+	if !ok {
+		return nil, fmt.Errorf("circuit: no element %q", sourceName)
+	}
+	setV := func(val float64) error {
+		switch s := e.(type) {
+		case *VSource:
+			s.W = DC(val)
+		case *ISource:
+			s.W = DC(val)
+		default:
+			return fmt.Errorf("circuit: element %q is %T, not sweepable", sourceName, e)
+		}
+		return nil
+	}
+	out := make([]*Solution, 0, len(values))
+	var x []float64
+	cfg := defaultOPConfig()
+	for _, val := range values {
+		if err := setV(val); err != nil {
+			return nil, err
+		}
+		if x == nil {
+			sol, err := c.OperatingPoint()
+			if err != nil {
+				return nil, fmt.Errorf("circuit: sweep point %g: %w", val, err)
+			}
+			x = append([]float64(nil), sol.X...)
+			out = append(out, sol)
+			continue
+		}
+		// Warm start from the previous point.
+		xi := append([]float64(nil), x...)
+		if err := c.newtonDC(xi, 0, 1, cfg); err != nil {
+			// Fall back to the full ladder.
+			sol, err2 := c.OperatingPoint()
+			if err2 != nil {
+				return nil, fmt.Errorf("circuit: sweep point %g: %w", val, err2)
+			}
+			xi = sol.X
+		}
+		c.captureAll(xi)
+		x = xi
+		out = append(out, &Solution{circ: c, X: append([]float64(nil), xi...)})
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestVCVSGain(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "ctl", "0", DC(0.25))
+	c.AddResistor("Rctl", "ctl", "0", 1e6)
+	c.AddVCVS("E1", "out", "0", "ctl", "0", 8)
+	c.AddResistor("RL", "out", "0", 1e3)
+	sol, err := c.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(sol.Voltage("out"), 2.0, 1e-9, 1e-12) {
+		t.Errorf("VCVS output = %g, want 2.0", sol.Voltage("out"))
+	}
+	// The VCVS is ideal: loading must not change the output.
+	c2 := New()
+	c2.AddVSource("V1", "ctl", "0", DC(0.25))
+	c2.AddResistor("Rctl", "ctl", "0", 1e6)
+	c2.AddVCVS("E1", "out", "0", "ctl", "0", 8)
+	c2.AddResistor("RL", "out", "0", 1) // heavy load
+	sol2, err := c2.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(sol2.Voltage("out"), 2.0, 1e-9, 1e-12) {
+		t.Errorf("loaded VCVS output = %g, want 2.0", sol2.Voltage("out"))
+	}
+	// Its branch current is accessible (it drives the load).
+	i, err := sol2.BranchCurrent("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(math.Abs(i), 2.0, 1e-9, 1e-12) {
+		t.Errorf("VCVS branch current %g, want ±2 A", i)
+	}
+}
+
+func TestVCVSIdealOpAmpFollower(t *testing.T) {
+	// Classic behavioural op-amp: huge-gain VCVS with feedback becomes a
+	// unity follower.
+	c := New()
+	c.AddVSource("VIN", "in", "0", DC(0.7))
+	c.AddVCVS("EOP", "out", "0", "in", "out", 1e6)
+	c.AddResistor("RL", "out", "0", 10e3)
+	sol, err := c.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(sol.Voltage("out"), 0.7, 1e-5, 0) {
+		t.Errorf("follower output = %g, want ~0.7", sol.Voltage("out"))
+	}
+}
+
+func TestVCVSAC(t *testing.T) {
+	c := New()
+	v := c.AddVSource("VIN", "in", "0", DC(0))
+	v.ACMag = 1
+	c.AddResistor("Rin", "in", "0", 1e6)
+	c.AddVCVS("E1", "out", "0", "in", "0", -3)
+	c.AddResistor("RL", "out", "0", 1e3)
+	pts, err := c.AC([]float64{1e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pts[0].Mag("out"); !mathx.ApproxEqual(got, 3, 1e-9, 0) {
+		t.Errorf("AC gain magnitude = %g, want 3", got)
+	}
+	if ph := pts[0].PhaseDeg("out"); math.Abs(math.Abs(ph)-180) > 1e-6 {
+		t.Errorf("inverting VCVS phase = %g°, want ±180°", ph)
+	}
+}

@@ -1,0 +1,109 @@
+package circuit
+
+import "math"
+
+// Waveform is the time-dependent value of an independent source. At t < 0
+// (DC analyses) sources report their At(0) value.
+type Waveform interface {
+	// At returns the source value at time t (volts or amperes).
+	At(t float64) float64
+}
+
+// DC is a constant waveform.
+type DC float64
+
+// At returns the constant value.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// Sine is an offset sinusoid: Offset + Ampl·sin(2π·Freq·t + Phase).
+type Sine struct {
+	Offset float64
+	Ampl   float64
+	Freq   float64
+	Phase  float64 // radians
+}
+
+// At returns the sine value at t.
+func (s Sine) At(t float64) float64 {
+	return s.Offset + s.Ampl*math.Sin(2*math.Pi*s.Freq*t+s.Phase)
+}
+
+// Pulse is a SPICE-style pulse train.
+type Pulse struct {
+	Low, High  float64
+	Delay      float64
+	Rise, Fall float64
+	Width      float64
+	Period     float64
+}
+
+// At returns the pulse value at t.
+func (p Pulse) At(t float64) float64 {
+	if t < p.Delay {
+		return p.Low
+	}
+	tt := t - p.Delay
+	if p.Period > 0 {
+		tt = math.Mod(tt, p.Period)
+	}
+	switch {
+	case tt < p.Rise:
+		if p.Rise == 0 {
+			return p.High
+		}
+		return p.Low + (p.High-p.Low)*tt/p.Rise
+	case tt < p.Rise+p.Width:
+		return p.High
+	case tt < p.Rise+p.Width+p.Fall:
+		if p.Fall == 0 {
+			return p.Low
+		}
+		return p.High - (p.High-p.Low)*(tt-p.Rise-p.Width)/p.Fall
+	default:
+		return p.Low
+	}
+}
+
+// PWL is a piecewise-linear waveform through (Times[i], Values[i]) points;
+// it clamps outside the time range. Times must be strictly increasing.
+type PWL struct {
+	Times  []float64
+	Values []float64
+}
+
+// At returns the interpolated value at t.
+func (p PWL) At(t float64) float64 {
+	n := len(p.Times)
+	if n == 0 {
+		return 0
+	}
+	if t <= p.Times[0] {
+		return p.Values[0]
+	}
+	if t >= p.Times[n-1] {
+		return p.Values[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.Times[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	f := (t - p.Times[lo]) / (p.Times[hi] - p.Times[lo])
+	return p.Values[lo] + f*(p.Values[hi]-p.Values[lo])
+}
+
+// Sum superimposes waveforms; used to add EMI on top of a DC bias.
+type Sum []Waveform
+
+// At returns the sum of all member waveforms at t.
+func (s Sum) At(t float64) float64 {
+	total := 0.0
+	for _, w := range s {
+		total += w.At(t)
+	}
+	return total
+}

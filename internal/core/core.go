@@ -1,0 +1,295 @@
+// Package core is the top of the stack: it combines the time-zero
+// variability layer (Pelgrom Monte-Carlo sampling), the time-dependent
+// degradation layer (NBTI/HCI/TDDB aging) and a specification system into
+// a single reliability simulator that answers the paper's headline
+// question — how does yield evolve over a product lifetime in a nanometer
+// CMOS technology, and when do circuits drop out of spec?
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/aging"
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/mathx"
+	"repro/internal/variation"
+)
+
+// Metric is one monitored performance figure with its acceptance spec.
+type Metric struct {
+	Name string
+	// Measure evaluates the metric on a circuit (typically from its
+	// operating point or an AC analysis).
+	Measure func(c *circuit.Circuit) (float64, error)
+	// Spec is the pass interval.
+	Spec variation.Spec
+}
+
+// Mission describes the use conditions over which reliability is assessed.
+type Mission struct {
+	// Duration is the mission length in seconds.
+	Duration float64
+	// TempK is the junction temperature.
+	TempK float64
+	// Checkpoints is the number of aging checkpoints (log-spaced from
+	// Duration/1e6 unless LinearTime).
+	Checkpoints int
+	// LinearTime selects linear checkpoint spacing (log-spaced is the
+	// right default for power-law aging).
+	LinearTime bool
+	// Duty maps device names to stress duty factors (default 1).
+	Duty map[string]float64
+}
+
+// CheckpointTimes expands the mission into concrete times.
+func (m Mission) CheckpointTimes() []float64 {
+	if m.LinearTime {
+		return aging.LinCheckpoints(m.Duration, m.Checkpoints)
+	}
+	return aging.LogCheckpoints(m.Duration/1e6, m.Duration, m.Checkpoints)
+}
+
+// Validate checks the mission.
+func (m Mission) Validate() error {
+	switch {
+	case m.Duration <= 0:
+		return fmt.Errorf("core: non-positive mission duration %g", m.Duration)
+	case m.TempK <= 0:
+		return fmt.Errorf("core: non-positive temperature %g", m.TempK)
+	case m.Checkpoints < 1:
+		return fmt.Errorf("core: need at least one checkpoint")
+	}
+	return nil
+}
+
+// Simulator runs Monte-Carlo reliability analysis: every trial fabricates
+// one die (fresh mismatch sample), ages it through the mission and records
+// the monitored metrics at every checkpoint.
+type Simulator struct {
+	// Build constructs a fresh nominal circuit. It must return a new
+	// instance on every call (trials run in parallel).
+	Build func() (*circuit.Circuit, error)
+	// Tech supplies the mismatch coefficients.
+	Tech *device.Technology
+	// Models are the degradation mechanisms (zero value disables aging).
+	Models aging.Models
+	// Metrics are the monitored specs.
+	Metrics []Metric
+	// GlobalSigmaVT / GlobalSigmaBeta enable die-to-die corners on top of
+	// local mismatch (0 disables).
+	GlobalSigmaVT, GlobalSigmaBeta float64
+	// Seed makes the whole analysis reproducible.
+	Seed uint64
+}
+
+// Result is the outcome of a reliability run.
+type Result struct {
+	// Times are the checkpoint times (with t=0 prepended).
+	Times []float64
+	// Yield[k] is the fraction of trials meeting every spec at Times[k].
+	Yield []variation.YieldEstimate
+	// MetricMeans[k][m] is the mean of metric m over surviving evaluations
+	// at checkpoint k.
+	MetricMeans [][]float64
+	// FailureTimes holds each trial's first out-of-spec time (+Inf for
+	// survivors), sorted ascending.
+	FailureTimes []float64
+	// Trials is the requested trial count; Errors counts trials whose
+	// simulation failed outright.
+	Trials, Errors int
+	// MetricNames echoes the metric order of MetricMeans.
+	MetricNames []string
+}
+
+// MedianTTF returns the median failure time (+Inf when most trials
+// survive).
+func (r *Result) MedianTTF() float64 {
+	if len(r.FailureTimes) == 0 {
+		return math.Inf(1)
+	}
+	return r.FailureTimes[len(r.FailureTimes)/2]
+}
+
+// YieldAt returns the yield estimate nearest to time t.
+func (r *Result) YieldAt(t float64) variation.YieldEstimate {
+	best, dist := 0, math.Inf(1)
+	for i, tt := range r.Times {
+		if d := math.Abs(tt - t); d < dist {
+			best, dist = i, d
+		}
+	}
+	return r.Yield[best]
+}
+
+// Run executes nTrials Monte-Carlo reliability trials. Trials run in
+// parallel but the result depends only on (Simulator.Seed, nTrials).
+func (s *Simulator) Run(nTrials int, mission Mission) (*Result, error) {
+	if nTrials <= 0 {
+		return nil, fmt.Errorf("core: nTrials must be positive")
+	}
+	if s.Build == nil || s.Tech == nil || len(s.Metrics) == 0 {
+		return nil, fmt.Errorf("core: simulator needs Build, Tech and at least one Metric")
+	}
+	if err := mission.Validate(); err != nil {
+		return nil, err
+	}
+	times := append([]float64{0}, mission.CheckpointTimes()...)
+	nCk := len(times)
+	nMet := len(s.Metrics)
+
+	type trialOut struct {
+		ok     bool
+		inSpec []bool      // per checkpoint
+		values [][]float64 // per checkpoint per metric
+	}
+	outs := make([]trialOut, nTrials)
+	root := mathx.NewRNG(s.Seed)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nTrials {
+		workers = nTrials
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				outs[i] = s.runTrial(root.Split(uint64(i)), times, mission)
+			}
+		}()
+	}
+	for i := 0; i < nTrials; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &Result{Times: times, Trials: nTrials}
+	for _, m := range s.Metrics {
+		res.MetricNames = append(res.MetricNames, m.Name)
+	}
+	res.Yield = make([]variation.YieldEstimate, nCk)
+	res.MetricMeans = make([][]float64, nCk)
+	for k := 0; k < nCk; k++ {
+		pass, total := 0, 0
+		sums := make([]float64, nMet)
+		counts := 0
+		for _, o := range outs {
+			if !o.ok {
+				continue
+			}
+			total++
+			if o.inSpec[k] {
+				pass++
+			}
+			if o.values[k] != nil {
+				counts++
+				for m, v := range o.values[k] {
+					sums[m] += v
+				}
+			}
+		}
+		res.Yield[k] = variation.YieldFromCounts(pass, total)
+		means := make([]float64, nMet)
+		for m := range means {
+			if counts > 0 {
+				means[m] = sums[m] / float64(counts)
+			} else {
+				means[m] = math.NaN()
+			}
+		}
+		res.MetricMeans[k] = means
+	}
+	for _, o := range outs {
+		if !o.ok {
+			res.Errors++
+			continue
+		}
+		ft := math.Inf(1)
+		for k, in := range o.inSpec {
+			if !in {
+				ft = times[k]
+				break
+			}
+		}
+		res.FailureTimes = append(res.FailureTimes, ft)
+	}
+	sort.Float64s(res.FailureTimes)
+	return res, nil
+}
+
+// runTrial fabricates, ages and measures one die.
+func (s *Simulator) runTrial(rng *mathx.RNG, times []float64, mission Mission) (out struct {
+	ok     bool
+	inSpec []bool
+	values [][]float64
+}) {
+	c, err := s.Build()
+	if err != nil {
+		return
+	}
+	corner := variation.NominalCorner()
+	if s.GlobalSigmaVT > 0 || s.GlobalSigmaBeta > 0 {
+		corner = variation.SampleGlobalCorner(s.GlobalSigmaVT, s.GlobalSigmaBeta, rng.Split(0))
+	}
+	variation.ApplyRandomMismatch(c, s.Tech, corner, rng.Split(1))
+
+	ager := aging.NewCircuitAger(c, s.Models, mission.TempK, rng.Split(2).Uint64())
+	ager.DutyOverride = mission.Duty
+
+	out.inSpec = make([]bool, len(times))
+	out.values = make([][]float64, len(times))
+
+	measure := func(k int) {
+		vals := make([]float64, len(s.Metrics))
+		pass := true
+		for m, met := range s.Metrics {
+			v, err := met.Measure(c)
+			if err != nil {
+				pass = false
+				vals = nil
+				break
+			}
+			vals[m] = v
+			if !met.Spec.Pass(v) {
+				pass = false
+			}
+		}
+		out.inSpec[k] = pass
+		out.values[k] = vals
+	}
+
+	measure(0)
+	prev := 0.0
+	for k := 1; k < len(times); k++ {
+		if _, err := c.OperatingPoint(); err != nil {
+			// Hard failure: everything from here on is out of spec.
+			for j := k; j < len(times); j++ {
+				out.inSpec[j] = false
+			}
+			out.ok = true
+			return
+		}
+		stress := aging.ExtractStressOP(c, mission.TempK)
+		for _, name := range ager.SortedAgerNames() {
+			st := stress[name]
+			if mission.Duty != nil {
+				if d, ok := mission.Duty[name]; ok {
+					st.Duty = d
+				}
+			}
+			ager.Ager(name).Step(st, times[k]-prev)
+		}
+		prev = times[k]
+		measure(k)
+	}
+	out.ok = true
+	return
+}

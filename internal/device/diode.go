@@ -1,0 +1,48 @@
+package device
+
+import "math"
+
+// Diode is a junction diode with ideal exponential characteristics and a
+// small parallel conductance for numerical robustness.
+type Diode struct {
+	// IS is the saturation current in amperes.
+	IS float64
+	// N is the emission coefficient.
+	N float64
+	// TempK is the junction temperature in kelvin.
+	TempK float64
+	// Gmin is a parallel conductance in siemens that keeps the Jacobian
+	// non-singular when the diode is deeply off.
+	Gmin float64
+}
+
+// NewDiode returns a diode with typical silicon parameters (IS = 1e-14 A,
+// N = 1) at temperature tempK.
+func NewDiode(tempK float64) *Diode {
+	return &Diode{IS: 1e-14, N: 1, TempK: tempK, Gmin: 1e-12}
+}
+
+// Eval returns the diode current and conductance at forward voltage v. The
+// exponential is linearised above a critical voltage to avoid overflow
+// during Newton iterations, in the usual SPICE manner.
+func (d *Diode) Eval(v float64) (i, g float64) {
+	vt := d.N * thermalVoltage(d.TempK)
+	// Critical voltage beyond which the exponential is extrapolated
+	// linearly (SPICE's "junction voltage limiting" applied inside the
+	// model itself, which keeps Eval a pure function).
+	vcrit := vt * math.Log(vt/(math.Sqrt2*d.IS))
+	if v <= vcrit {
+		e := math.Exp(v / vt)
+		i = d.IS * (e - 1)
+		g = d.IS * e / vt
+	} else {
+		ecrit := math.Exp(vcrit / vt)
+		gcrit := d.IS * ecrit / vt
+		icrit := d.IS * (ecrit - 1)
+		i = icrit + gcrit*(v-vcrit)
+		g = gcrit
+	}
+	i += d.Gmin * v
+	g += d.Gmin
+	return i, g
+}

@@ -1,0 +1,173 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestTechByName(t *testing.T) {
+	for _, name := range Nodes() {
+		tech, err := TechByName(name)
+		if err != nil {
+			t.Fatalf("TechByName(%q): %v", name, err)
+		}
+		if tech.Name != name {
+			t.Errorf("got %q, want %q", tech.Name, name)
+		}
+	}
+	if _, err := TechByName("7nm"); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestTechMonotoneScaling(t *testing.T) {
+	ts := SortedByTox()
+	for i := 1; i < len(ts); i++ {
+		if ts[i].ToxNM >= ts[i-1].ToxNM {
+			t.Fatalf("SortedByTox not decreasing at %d", i)
+		}
+		if ts[i].Lmin >= ts[i-1].Lmin {
+			t.Errorf("thinner oxide should pair with shorter channel: %s vs %s", ts[i].Name, ts[i-1].Name)
+		}
+		if ts[i].VDD > ts[i-1].VDD {
+			t.Errorf("VDD should not increase with scaling: %s", ts[i].Name)
+		}
+	}
+}
+
+func TestAVTTrendMatchesBenchmarkAboveBreak(t *testing.T) {
+	for _, tox := range []float64{10, 12, 15, 20, 25} {
+		if got, want := AVTTrend(tox), TuinhoutBenchmarkAVT(tox); got != want {
+			t.Errorf("AVTTrend(%g) = %g, want benchmark %g", tox, got, want)
+		}
+	}
+}
+
+func TestAVTTrendFlattensBelowBreak(t *testing.T) {
+	// Below 10 nm the measured AVT sits above the benchmark line (matching
+	// improves more slowly than the rule predicts) — the key message of
+	// Fig. 1.
+	for _, tox := range []float64{1.5, 2, 4, 8} {
+		trend := AVTTrend(tox)
+		bench := TuinhoutBenchmarkAVT(tox)
+		if trend <= bench {
+			t.Errorf("AVTTrend(%g) = %g should exceed benchmark %g", tox, trend, bench)
+		}
+	}
+	// Continuity at the breakpoint.
+	if !mathx.ApproxEqual(AVTTrend(10-1e-12), AVTTrend(10), 1e-9, 1e-9) {
+		t.Error("AVTTrend discontinuous at 10 nm")
+	}
+}
+
+func TestSigmaVTPelgromScaling(t *testing.T) {
+	tech := MustTech("180nm")
+	// Quadrupling the area halves σ (at zero distance).
+	s1 := tech.SigmaVT(1e-6, 1e-6, 0)
+	s2 := tech.SigmaVT(2e-6, 2e-6, 0)
+	if !mathx.ApproxEqual(s1/s2, 2, 1e-9, 0) {
+		t.Errorf("area scaling broken: σ ratio = %g, want 2", s1/s2)
+	}
+	// Distance term grows with D.
+	sNear := tech.SigmaVT(1e-6, 1e-6, 1e-6)
+	sFar := tech.SigmaVT(1e-6, 1e-6, 100e-6)
+	if sFar <= sNear {
+		t.Errorf("distance term missing: %g <= %g", sFar, sNear)
+	}
+	// Magnitude check: 180 nm (Tox = 4 nm) has AVT = 3 + 0.7·4 = 5.8 mV·µm
+	// from the Fig. 1 trend, so a 1 µm² pair shows σ(ΔVT) = 5.8 mV.
+	if !mathx.ApproxEqual(s1, 5.8e-3, 1e-6, 0) {
+		t.Errorf("σ(ΔVT) = %g V, want 5.8 mV for 1 µm² at 180 nm", s1)
+	}
+}
+
+func TestSigmaBetaScaling(t *testing.T) {
+	tech := MustTech("90nm")
+	s1 := tech.SigmaBeta(1e-6, 1e-6)
+	s4 := tech.SigmaBeta(4e-6, 1e-6)
+	if !mathx.ApproxEqual(s1/s4, 2, 1e-9, 0) {
+		t.Errorf("beta mismatch area scaling broken: ratio %g", s1/s4)
+	}
+	if s1 <= 0 || s1 > 0.2 {
+		t.Errorf("σ(Δβ/β) = %g implausible", s1)
+	}
+}
+
+func TestTechAVTConsistentWithTrend(t *testing.T) {
+	for _, name := range Nodes() {
+		tech := MustTech(name)
+		want := AVTTrend(tech.ToxNM)
+		if !mathx.ApproxEqual(tech.AVTmVum(), want, 1e-9, 1e-9) {
+			t.Errorf("%s: AVT = %g mV·µm, trend says %g", name, tech.AVTmVum(), want)
+		}
+	}
+}
+
+func TestParamsBuilders(t *testing.T) {
+	tech := MustTech("65nm")
+	n := tech.NMOSParams(1e-6, 65e-9, 300)
+	p := tech.PMOSParams(1e-6, 65e-9, 300)
+	if n.Type != NMOS || p.Type != PMOS {
+		t.Fatal("wrong device types")
+	}
+	if err := n.Validate(); err != nil {
+		t.Errorf("NMOS params invalid: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("PMOS params invalid: %v", err)
+	}
+	// Longer channel reduces lambda.
+	long := tech.NMOSParams(1e-6, 650e-9, 300)
+	if long.Lambda >= n.Lambda {
+		t.Error("lambda should shrink with channel length")
+	}
+}
+
+func TestSigmaVTPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustTech("65nm").SigmaVT(0, 1e-6, 0)
+}
+
+func TestDiodeForwardReverse(t *testing.T) {
+	d := NewDiode(300)
+	iF, gF := d.Eval(0.6)
+	if iF <= 0 || gF <= 0 {
+		t.Fatalf("forward diode: i=%g g=%g", iF, gF)
+	}
+	iR, gR := d.Eval(-5)
+	if iR > 0 {
+		t.Errorf("reverse current %g should be <= 0", iR)
+	}
+	if gR <= 0 {
+		t.Errorf("reverse conductance %g must stay positive (gmin)", gR)
+	}
+	// ~60 mV/decade at N=1.
+	i1, _ := d.Eval(0.5)
+	i2, _ := d.Eval(0.56)
+	dec := math.Log10(i2 / i1)
+	if math.Abs(dec-1) > 0.05 {
+		t.Errorf("60 mV should give one decade, got %g", dec)
+	}
+}
+
+func TestDiodeLimitingKeepsFinite(t *testing.T) {
+	d := NewDiode(300)
+	i, g := d.Eval(5) // would overflow the raw exponential's usefulness
+	if math.IsInf(i, 0) || math.IsNaN(i) || math.IsInf(g, 0) {
+		t.Fatalf("diode limiting failed: i=%g g=%g", i, g)
+	}
+	// Continuity across the critical voltage.
+	const h = 1e-9
+	vc := 0.7
+	i1, _ := d.Eval(vc - h)
+	i2, _ := d.Eval(vc + h)
+	if math.Abs(i2-i1) > 1e-3*math.Abs(i1) {
+		t.Errorf("diode current discontinuous near limit: %g vs %g", i1, i2)
+	}
+}

@@ -1,0 +1,93 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func deviceAt(tempK float64) *Mosfet {
+	tech := MustTech("180nm")
+	return NewMosfet(tech.NMOSParams(1e-6, 180e-9, tempK))
+}
+
+func TestTemperatureAnchoredAt300K(t *testing.T) {
+	m := deviceAt(300)
+	// At the reference temperature the card values apply unmodified.
+	if m.VT() != m.Params.VT0 {
+		t.Errorf("VT at 300K = %g, want card value %g", m.VT(), m.Params.VT0)
+	}
+	want := m.Params.KP * m.Params.W / m.Params.L
+	if !mathx.ApproxEqual(m.Beta(), want, 1e-12, 0) {
+		t.Errorf("Beta at 300K = %g, want %g", m.Beta(), want)
+	}
+}
+
+func TestThresholdDropsWithTemperature(t *testing.T) {
+	cold := deviceAt(250)
+	hot := deviceAt(400)
+	if hot.VT() >= cold.VT() {
+		t.Errorf("VT must fall with T: %g >= %g", hot.VT(), cold.VT())
+	}
+	// ~1 mV/K slope.
+	slope := (hot.VT() - cold.VT()) / 150
+	if !mathx.ApproxEqual(slope, -1e-3, 1e-9, 0) {
+		t.Errorf("VT slope = %g V/K, want -1 mV/K", slope)
+	}
+}
+
+func TestMobilityFallsWithTemperature(t *testing.T) {
+	cold := deviceAt(300)
+	hot := deviceAt(400)
+	ratio := hot.Beta() / cold.Beta()
+	want := math.Pow(400.0/300.0, -1.5)
+	if !mathx.ApproxEqual(ratio, want, 1e-9, 0) {
+		t.Errorf("mobility scaling = %g, want %g", ratio, want)
+	}
+}
+
+func TestStrongInversionCurrentFallsWithT(t *testing.T) {
+	// High overdrive: mobility loss dominates, hot device is weaker.
+	cold := deviceAt(300)
+	hot := deviceAt(400)
+	iCold := cold.Eval(1.8, 1.8, 0).ID
+	iHot := hot.Eval(1.8, 1.8, 0).ID
+	if iHot >= iCold {
+		t.Errorf("strong-inversion current should fall with T: %g >= %g", iHot, iCold)
+	}
+}
+
+func TestSubthresholdCurrentRisesWithT(t *testing.T) {
+	// Near/below threshold: the VT drop dominates, hot device leaks more.
+	cold := deviceAt(300)
+	hot := deviceAt(400)
+	iCold := cold.Eval(0.3, 1.0, 0).ID
+	iHot := hot.Eval(0.3, 1.0, 0).ID
+	if iHot <= iCold {
+		t.Errorf("subthreshold current should rise with T: %g <= %g", iHot, iCold)
+	}
+}
+
+func TestZeroTemperatureCoefficientBiasExists(t *testing.T) {
+	// Between those regimes lies the ZTC bias point where the two effects
+	// cancel — a well-known MOSFET property the model must reproduce:
+	// dID/dT changes sign somewhere in the gate-bias range.
+	cold := deviceAt(300)
+	hot := deviceAt(380)
+	sign := func(vgs float64) float64 {
+		return hot.Eval(vgs, 1.8, 0).ID - cold.Eval(vgs, 1.8, 0).ID
+	}
+	low := sign(0.35)
+	high := sign(1.8)
+	if !(low > 0 && high < 0) {
+		t.Fatalf("expected T-coefficient sign flip: low=%g high=%g", low, high)
+	}
+	ztc, err := mathx.Bisect(sign, 0.35, 1.8, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ztc < 0.4 || ztc > 1.5 {
+		t.Errorf("ZTC bias %g V implausible", ztc)
+	}
+}

@@ -1,0 +1,262 @@
+package em
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func testWire() *Wire {
+	return &Wire{
+		Name: "w", Width: 0.2e-6, Thickness: 0.2e-6,
+		Length: 100e-6, Current: 1e-4,
+	}
+}
+
+func TestCurrentDensity(t *testing.T) {
+	w := testWire()
+	// 1e-4 A over 4e-14 m² = 2.5e9 A/m².
+	if !mathx.ApproxEqual(w.CurrentDensity(), 2.5e9, 1e-12, 0) {
+		t.Errorf("J = %g", w.CurrentDensity())
+	}
+	w.Current = -1e-4
+	if !mathx.ApproxEqual(w.CurrentDensity(), 2.5e9, 1e-12, 0) {
+		t.Error("density must use |I|")
+	}
+}
+
+func TestBlackJSquaredLaw(t *testing.T) {
+	m := DefaultBlack()
+	w := testWire()
+	w.Length = 1e-2 // long enough to not be Blech-immune
+	base := m.MTTF(w, 378)
+	w2 := *w
+	w2.Current = 2e-4
+	// Doubling J at fixed geometry quarters the lifetime (N = 2).
+	if !mathx.ApproxEqual(m.MTTF(&w2, 378), base/4, 1e-9, 0) {
+		t.Errorf("J² law broken: %g vs %g/4", m.MTTF(&w2, 378), base)
+	}
+}
+
+func TestBlackTemperatureAcceleration(t *testing.T) {
+	m := DefaultBlack()
+	w := testWire()
+	w.Length = 1e-2
+	cold := m.MTTF(w, 300)
+	hot := m.MTTF(w, 400)
+	if hot >= cold {
+		t.Fatalf("hotter wire must die sooner: %g >= %g", hot, cold)
+	}
+	// Arrhenius ratio check.
+	want := math.Exp(m.Ea/(boltzmannEV*300) - m.Ea/(boltzmannEV*400))
+	if !mathx.ApproxEqual(cold/hot, want, 1e-9, 0) {
+		t.Errorf("Arrhenius ratio %g, want %g", cold/hot, want)
+	}
+}
+
+func TestBlackMagnitude(t *testing.T) {
+	// The calibration promise: 0.2×0.2 µm, 0.1 mA, 378 K → years.
+	m := DefaultBlack()
+	w := testWire()
+	w.Length = 1e-2
+	mttf := m.MTTF(w, 378)
+	const year = 365.25 * 24 * 3600
+	if mttf < 0.3*year || mttf > 300*year {
+		t.Errorf("MTTF = %g years implausible", mttf/year)
+	}
+}
+
+func TestBlechImmunity(t *testing.T) {
+	m := DefaultBlack()
+	short := testWire()
+	short.Length = 50e-6 // j·L = 2.5e9 × 5e-5 = 1.25e5 < 3e5
+	if !m.BlechImmune(short) {
+		t.Error("short wire should be Blech-immune")
+	}
+	if !math.IsInf(m.MTTF(short, 378), 1) {
+		t.Error("immune wire must have infinite MTTF")
+	}
+	long := testWire()
+	long.Length = 500e-6 // j·L = 1.25e6 > 3e5
+	if m.BlechImmune(long) {
+		t.Error("long wire should not be immune")
+	}
+}
+
+func TestBambooAndLayoutBonuses(t *testing.T) {
+	m := DefaultBlack()
+	narrow := testWire()
+	narrow.Length = 1e-2
+	narrow.Width = 0.2e-6 // < 0.3 µm grain: bamboo
+	wide := *narrow
+	wide.Width = 1e-6
+	wide.Current = narrow.Current * 5 // same J
+	if !m.IsBamboo(narrow) || m.IsBamboo(&wide) {
+		t.Fatal("bamboo classification wrong")
+	}
+	// Same J and proportional area: without the bamboo bonus the wide wire
+	// would live exactly 5× longer (A in the numerator); confirm the
+	// narrow wire gets its ×3 bonus on top.
+	ratio := m.MTTF(&wide, 378) / m.MTTF(narrow, 378)
+	if !mathx.ApproxEqual(ratio, 5.0/3.0, 1e-9, 0) {
+		t.Errorf("bamboo bonus wrong: ratio = %g, want 5/3", ratio)
+	}
+	slotted := wide
+	slotted.Slotted = true
+	if !mathx.ApproxEqual(m.MTTF(&slotted, 378)/m.MTTF(&wide, 378), m.SlotBonus, 1e-9, 0) {
+		t.Error("slot bonus not applied")
+	}
+	resv := wide
+	resv.ViaReservoir = true
+	if !mathx.ApproxEqual(m.MTTF(&resv, 378)/m.MTTF(&wide, 378), m.ReservoirBonus, 1e-9, 0) {
+		t.Error("reservoir bonus not applied")
+	}
+}
+
+func TestJMaxInvertsMTTF(t *testing.T) {
+	m := DefaultBlack()
+	area := 4e-14
+	target := 10 * 365.25 * 24 * 3600.0
+	jmax := m.JMax(target, 378, area)
+	// A wire at exactly jmax must live exactly the target (no bonuses).
+	w := &Wire{Name: "x", Width: 0.4e-6, Thickness: 1e-7, Length: 1, Current: jmax * area}
+	if m.IsBamboo(w) {
+		t.Fatal("test wire accidentally bamboo")
+	}
+	if got := m.MTTF(w, 378); !mathx.ApproxEqual(got, target, 1e-9, 0) {
+		t.Errorf("MTTF at JMax = %g, want %g", got, target)
+	}
+}
+
+func TestWidthFix(t *testing.T) {
+	m := DefaultBlack()
+	w := testWire()
+	w.Width = 0.5e-6 // not bamboo
+	w.Length = 1e-2
+	w.Current = 2e-3 // hot wire
+	target := 10 * 365.25 * 24 * 3600.0
+	if m.MTTF(w, 378) >= target {
+		t.Fatal("test wire unexpectedly passes")
+	}
+	fixed := *w
+	fixed.Width = m.WidthFix(w, target, 378)
+	if fixed.Width <= w.Width {
+		t.Fatal("fix did not widen the wire")
+	}
+	got := m.MTTF(&fixed, 378)
+	if !mathx.ApproxEqual(got, target, 1e-6, 0) {
+		t.Errorf("widened wire MTTF = %g, want %g", got, target)
+	}
+	// A passing wire needs no fix.
+	ok := testWire()
+	ok.Length = 50e-6
+	if m.WidthFix(ok, target, 378) != ok.Width {
+		t.Error("immune wire got widened")
+	}
+}
+
+func TestCheckReport(t *testing.T) {
+	m := DefaultBlack()
+	target := 10 * 365.25 * 24 * 3600.0
+	good := testWire()
+	good.Name = "good"
+	good.Length = 50e-6 // immune
+	bad := testWire()
+	bad.Name = "bad"
+	bad.Width = 0.5e-6
+	bad.Length = 1e-2
+	bad.Current = 5e-3
+	worse := *bad
+	worse.Name = "worse"
+	worse.Current = 8e-3
+	r := m.Check([]*Wire{good, bad, &worse}, target, 378)
+	if r.Pass() {
+		t.Fatal("report should fail")
+	}
+	if r.Checked != 3 || r.Immune != 1 {
+		t.Errorf("checked=%d immune=%d", r.Checked, r.Immune)
+	}
+	if len(r.Violations) != 2 || r.Violations[0].Wire.Name != "worse" {
+		t.Errorf("violations not sorted worst-first: %+v", r.Violations)
+	}
+	if r.WorstWire != "worse" {
+		t.Errorf("worst wire = %q", r.WorstWire)
+	}
+	for _, v := range r.Violations {
+		if v.SuggestedWidth <= v.Wire.Width {
+			t.Error("violation carries no widening fix")
+		}
+	}
+	// All-immune network passes.
+	r2 := m.Check([]*Wire{good}, target, 378)
+	if !r2.Pass() || !math.IsInf(r2.WorstMTTF, 1) {
+		t.Error("immune network should pass with infinite worst MTTF")
+	}
+}
+
+func TestSeriesMTTF(t *testing.T) {
+	if got := SeriesMTTF([]float64{100, 100}); !mathx.ApproxEqual(got, 50, 1e-12, 0) {
+		t.Errorf("series of two equal = %g, want 50", got)
+	}
+	if !math.IsInf(SeriesMTTF([]float64{math.Inf(1), math.Inf(1)}), 1) {
+		t.Error("all-immortal series must be immortal")
+	}
+	if got := SeriesMTTF([]float64{math.Inf(1), 42}); !mathx.ApproxEqual(got, 42, 1e-12, 0) {
+		t.Errorf("immortal member must not shorten life: %g", got)
+	}
+	if SeriesMTTF([]float64{0, 10}) != 0 {
+		t.Error("zero-MTTF member dominates")
+	}
+}
+
+func TestMTTFMonotoneInCurrentProperty(t *testing.T) {
+	m := DefaultBlack()
+	if err := quick.Check(func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		w := &Wire{
+			Name: "p", Width: 0.4e-6 + r.Float64()*1e-6,
+			Thickness: 0.2e-6, Length: 1e-2,
+			Current: 1e-4 + r.Float64()*1e-3,
+		}
+		w2 := *w
+		w2.Current = w.Current * (1.1 + r.Float64())
+		return m.MTTF(&w2, 350) < m.MTTF(w, 350)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroCurrentImmortal(t *testing.T) {
+	m := DefaultBlack()
+	w := testWire()
+	w.Current = 0
+	if !math.IsInf(m.MTTF(w, 400), 1) {
+		t.Error("zero-current wire must be immortal")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	w := &Wire{Name: "bad", Width: 0, Thickness: 1e-7, Current: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.CurrentDensity()
+}
+
+func TestWireResistance(t *testing.T) {
+	// 100 µm of 0.2×0.2 µm copper: R = 2.2e-8 · 1e-4 / 4e-14 = 55 Ω.
+	w := testWire()
+	if got := WireResistance(w); !mathx.ApproxEqual(got, 55, 1e-9, 0) {
+		t.Errorf("WireResistance = %g, want 55", got)
+	}
+	// Doubling the width halves the resistance.
+	w2 := *w
+	w2.Width *= 2
+	if got := WireResistance(&w2); !mathx.ApproxEqual(got, 27.5, 1e-9, 0) {
+		t.Errorf("wide wire = %g, want 27.5", got)
+	}
+}

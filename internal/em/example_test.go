@@ -1,0 +1,35 @@
+package em_test
+
+import (
+	"fmt"
+
+	"repro/internal/em"
+)
+
+// ExampleBlackModel_MTTF evaluates Eq. 4 on a hot wire and prints the
+// widening fix that restores a ten-year life.
+func ExampleBlackModel_MTTF() {
+	model := em.DefaultBlack()
+	w := &em.Wire{
+		Name: "m2_strap", Width: 0.4e-6, Thickness: 0.3e-6,
+		Length: 300e-6, Current: 2.5e-3,
+	}
+	const year = 365.25 * 24 * 3600
+	mttf := model.MTTF(w, 378)
+	fix := model.WidthFix(w, 10*year, 378)
+	fmt.Printf("MTTF %.2f years; widen %.1f um -> %.1f um\n",
+		mttf/year, w.Width*1e6, fix*1e6)
+	// Output:
+	// MTTF 0.14 years; widen 0.4 um -> 1.7 um
+}
+
+// ExampleBlackModel_BlechImmune shows the short-wire immunity criterion.
+func ExampleBlackModel_BlechImmune() {
+	model := em.DefaultBlack()
+	w := &em.Wire{Name: "stub", Width: 0.2e-6, Thickness: 0.3e-6,
+		Length: 15e-6, Current: 0.8e-3}
+	fmt.Printf("j*L = %.2g A/m, immune: %v\n",
+		w.CurrentDensity()*w.Length, model.BlechImmune(w))
+	// Output:
+	// j*L = 2e+05 A/m, immune: true
+}

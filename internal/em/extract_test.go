@@ -1,0 +1,115 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/mathx"
+)
+
+// ladder builds a supply ladder: V1 -> Rtrunk -> mid -> two parallel
+// branches to ground.
+func ladder() (*circuit.Circuit, []Binding) {
+	c := circuit.New()
+	c.AddVSource("V1", "in", "0", circuit.DC(1.0))
+	c.AddResistor("Rtrunk", "in", "mid", 10)
+	c.AddResistor("RbrA", "mid", "0", 100)
+	c.AddResistor("RbrB", "mid", "0", 400)
+	bindings := []Binding{
+		{Resistor: "Rtrunk", Wire: &Wire{Name: "trunk", Width: 0.5e-6, Thickness: 0.2e-6, Length: 1e-3}},
+		{Resistor: "RbrA", Wire: &Wire{Name: "brA", Width: 0.3e-6, Thickness: 0.2e-6, Length: 1e-3}},
+		{Resistor: "RbrB", Wire: &Wire{Name: "brB", Width: 0.3e-6, Thickness: 0.2e-6, Length: 1e-3}},
+	}
+	return c, bindings
+}
+
+func TestAssignCurrentsKCL(t *testing.T) {
+	c, bindings := ladder()
+	sol, err := c.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignCurrents(c, sol, bindings); err != nil {
+		t.Fatal(err)
+	}
+	itrunk := bindings[0].Wire.Current
+	ia := bindings[1].Wire.Current
+	ib := bindings[2].Wire.Current
+	if itrunk <= 0 || ia <= 0 || ib <= 0 {
+		t.Fatalf("currents should flow downstream: %g %g %g", itrunk, ia, ib)
+	}
+	// Kirchhoff: trunk feeds both branches.
+	if !mathx.ApproxEqual(itrunk, ia+ib, 1e-9, 1e-15) {
+		t.Errorf("KCL violated: %g != %g + %g", itrunk, ia, ib)
+	}
+	// The 100 Ω branch carries 4x the 400 Ω one.
+	if !mathx.ApproxEqual(ia/ib, 4, 1e-9, 0) {
+		t.Errorf("current division wrong: %g", ia/ib)
+	}
+}
+
+func TestCheckCircuitFlow(t *testing.T) {
+	c, bindings := ladder()
+	m := DefaultBlack()
+	rep, err := m.CheckCircuit(c, bindings, 10*365.25*86400, 378)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checked != 3 {
+		t.Errorf("checked %d wires", rep.Checked)
+	}
+	// The trunk (~9.3 mA through 0.1 µm² ≈ 9 MA/cm²) must be flagged.
+	found := false
+	for _, v := range rep.Violations {
+		if v.Wire.Name == "trunk" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("hot trunk not flagged")
+	}
+}
+
+func TestAssignCurrentsErrors(t *testing.T) {
+	c, bindings := ladder()
+	sol, err := c.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Binding{{Resistor: "nope", Wire: &Wire{Name: "x", Width: 1e-6, Thickness: 1e-7}}}
+	if err := AssignCurrents(c, sol, bad); err == nil {
+		t.Error("unknown resistor accepted")
+	}
+	if err := AssignCurrents(c, sol, []Binding{{Resistor: "Rtrunk"}}); err == nil {
+		t.Error("nil wire accepted")
+	}
+	// Binding a non-resistor element.
+	badType := []Binding{{Resistor: "V1", Wire: bindings[0].Wire}}
+	if err := AssignCurrents(c, sol, badType); err == nil {
+		t.Error("non-resistor element accepted")
+	}
+}
+
+func TestNegativeCurrentHandled(t *testing.T) {
+	// A resistor whose defined a→b direction opposes the current flow
+	// yields a negative Current; EM math must use the magnitude.
+	c := circuit.New()
+	c.AddVSource("V1", "in", "0", circuit.DC(1.0))
+	c.AddResistor("R1", "0", "in", 100) // reversed terminals
+	sol, err := c.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &Wire{Name: "w", Width: 0.5e-6, Thickness: 0.2e-6, Length: 1e-2}
+	if err := AssignCurrents(c, sol, []Binding{{Resistor: "R1", Wire: w}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Current >= 0 {
+		t.Fatalf("expected negative current, got %g", w.Current)
+	}
+	m := DefaultBlack()
+	if mttf := m.MTTF(w, 378); math.IsInf(mttf, 1) || mttf <= 0 {
+		t.Errorf("MTTF with negative current = %g", mttf)
+	}
+}

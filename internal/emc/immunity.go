@@ -1,0 +1,85 @@
+package emc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// ImmunitySearch finds, by bisection over amplitude, the smallest EMI
+// level that pushes a circuit's monitored metric out of tolerance — the
+// quantity a DPI (direct power injection) immunity test reports, per the
+// IEC 62132 conducted-immunity methodology the paper references.
+type ImmunitySearch struct {
+	// Source is the injection source name.
+	Source string
+	// Metric reduces the transient to the monitored quantity.
+	Metric Metric
+	// Opts configures the underlying transient.
+	Opts Options
+	// AmplMax bounds the search (volts).
+	AmplMax float64
+	// Tol is the relative amplitude tolerance of the bisection (default
+	// 5 %).
+	Tol float64
+}
+
+// Threshold returns the lowest amplitude at freq whose absolute metric
+// shift reaches maxShift, or +Inf when the circuit stays below maxShift up
+// to AmplMax (immune over the tested range — the desirable outcome).
+func (s *ImmunitySearch) Threshold(c *circuit.Circuit, freq, maxShift float64) (float64, error) {
+	if s.AmplMax <= 0 {
+		return 0, fmt.Errorf("emc: non-positive AmplMax %g", s.AmplMax)
+	}
+	if maxShift <= 0 {
+		return 0, fmt.Errorf("emc: non-positive shift limit %g", maxShift)
+	}
+	tol := s.Tol
+	if tol <= 0 {
+		tol = 0.05
+	}
+	shiftAt := func(ampl float64) (float64, error) {
+		r, err := MeasureRectification(c, s.Source, Injection{Ampl: ampl, Freq: freq}, s.Metric, s.Opts)
+		if err != nil {
+			return 0, err
+		}
+		return math.Abs(r.Shift), nil
+	}
+	hi := s.AmplMax
+	sHi, err := shiftAt(hi)
+	if err != nil {
+		return 0, err
+	}
+	if sHi < maxShift {
+		return math.Inf(1), nil
+	}
+	lo := 0.0
+	for hi-lo > tol*s.AmplMax {
+		mid := (lo + hi) / 2
+		sMid, err := shiftAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if sMid >= maxShift {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// ImmunityCurve sweeps the threshold over frequencies, producing the
+// classic immunity-vs-frequency plot of conducted-susceptibility reports.
+func (s *ImmunitySearch) ImmunityCurve(c *circuit.Circuit, freqs []float64, maxShift float64) ([]float64, error) {
+	out := make([]float64, 0, len(freqs))
+	for _, f := range freqs {
+		th, err := s.Threshold(c, f, maxShift)
+		if err != nil {
+			return nil, fmt.Errorf("emc: immunity at %g Hz: %w", f, err)
+		}
+		out = append(out, th)
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package emc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func referenceSearch(cr *CurrentReference) *ImmunitySearch {
+	opts := DefaultOptions(cr.RecordNodes()...)
+	opts.SettleCycles, opts.MeasureCycles, opts.StepsPerCycle = 3, 5, 32
+	return &ImmunitySearch{
+		Source:  cr.InjectName,
+		Metric:  cr.OutputCurrentMetric(),
+		Opts:    opts,
+		AmplMax: 0.8,
+		Tol:     0.05,
+	}
+}
+
+func TestImmunityThresholdBisection(t *testing.T) {
+	tech := device.MustTech("180nm")
+	cr := BuildCurrentReference(tech, true)
+	s := referenceSearch(cr)
+
+	// Quiet nominal current is ~33 µA; ask for the amplitude causing a
+	// 0.5 µA shift.
+	th, err := s.Threshold(cr.Circuit, 50e6, 0.5e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(th, 1) {
+		t.Fatal("expected a finite threshold for a 0.5 µA shift limit")
+	}
+	if th <= 0 || th >= 0.8 {
+		t.Fatalf("threshold %g outside the search interval", th)
+	}
+	// The found amplitude must indeed violate, and half of it must not.
+	viol, err := MeasureRectification(cr.Circuit, s.Source,
+		Injection{Ampl: th, Freq: 50e6}, s.Metric, s.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(viol.Shift) < 0.5e-6*0.8 {
+		t.Errorf("threshold amplitude shift %g too small", viol.Shift)
+	}
+	ok, err := MeasureRectification(cr.Circuit, s.Source,
+		Injection{Ampl: th / 2, Freq: 50e6}, s.Metric, s.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ok.Shift) >= 0.5e-6 {
+		t.Errorf("half the threshold already violates: %g", ok.Shift)
+	}
+}
+
+func TestImmunityInfiniteWhenRobust(t *testing.T) {
+	tech := device.MustTech("180nm")
+	cr := BuildCurrentReference(tech, true)
+	s := referenceSearch(cr)
+	// An absurdly loose limit no 0.8 V disturbance can reach.
+	th, err := s.Threshold(cr.Circuit, 10e6, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(th, 1) {
+		t.Errorf("expected immunity (+Inf), got %g", th)
+	}
+}
+
+func TestImmunityCurveHigherFrequencyMoreSusceptible(t *testing.T) {
+	// In the gate-coupled testbench the coupling is capacitive, so higher
+	// frequencies reach the mirror more strongly and the immunity
+	// threshold falls.
+	tech := device.MustTech("180nm")
+	cr := BuildCurrentReference(tech, true)
+	s := referenceSearch(cr)
+	curve, err := s.ImmunityCurve(cr.Circuit, []float64{2e6, 200e6}, 0.5e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 {
+		t.Fatal("wrong curve length")
+	}
+	if !(curve[1] < curve[0]) {
+		t.Errorf("immunity should fall with frequency: %v", curve)
+	}
+}
+
+func TestImmunityValidation(t *testing.T) {
+	tech := device.MustTech("180nm")
+	cr := BuildCurrentReference(tech, true)
+	s := referenceSearch(cr)
+	s.AmplMax = 0
+	if _, err := s.Threshold(cr.Circuit, 1e6, 1e-6); err == nil {
+		t.Error("zero AmplMax accepted")
+	}
+	s.AmplMax = 0.5
+	if _, err := s.Threshold(cr.Circuit, 1e6, 0); err == nil {
+		t.Error("zero shift limit accepted")
+	}
+}

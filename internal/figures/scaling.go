@@ -1,0 +1,85 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/aging"
+	"repro/internal/device"
+	"repro/internal/report"
+)
+
+// ScalingRow is one technology node's entry in the scaling study.
+type ScalingRow struct {
+	Node  string
+	ToxNM float64
+	VDD   float64
+	// SigmaVTMinSize is σ(ΔVT) of a minimum-size pair (W = 2·Lmin,
+	// L = Lmin) in volts — the matching a dense digital/SRAM design
+	// actually gets.
+	SigmaVTMinSize float64
+	// NBTIShift10y is the DC NBTI ΔVT after 10 years at 400 K under the
+	// nominal vertical field VDD/Tox, in volts.
+	NBTIShift10y float64
+	// TDDBEtaUseYears is the Weibull 63 % breakdown time of a
+	// minimum-size gate at use conditions, in years.
+	TDDBEtaUseYears float64
+	// RelNBTIBudget is NBTIShift10y normalised to the threshold voltage —
+	// the fraction of the headroom aging consumes.
+	RelNBTIBudget float64
+}
+
+// ScalingStudyResult aggregates the per-node rows.
+type ScalingStudyResult struct {
+	Rows []ScalingRow
+}
+
+// ScalingStudy walks every built-in technology node (oldest first) and
+// evaluates the paper's headline quantities: how mismatch of minimum-size
+// devices, NBTI wear-out and oxide lifetime evolve with scaling. It is the
+// repository's condensation of the paper's overall thesis — each mechanism
+// worsens as CMOS scales into the nanometer regime.
+func ScalingStudy() (*ScalingStudyResult, string) {
+	nbti := aging.DefaultNBTI()
+	tddb := aging.DefaultTDDB()
+	res := &ScalingStudyResult{}
+	const tenYears = 10 * Year
+	for _, tech := range device.SortedByTox() {
+		w, l := 2*tech.Lmin, tech.Lmin
+		eox := tech.VDD / tech.Tox()
+		row := ScalingRow{
+			Node:           tech.Name,
+			ToxNM:          tech.ToxNM,
+			VDD:            tech.VDD,
+			SigmaVTMinSize: tech.SigmaVT(w, l, 0),
+			NBTIShift10y:   nbti.ShiftDC(eox, 400, tenYears),
+		}
+		row.RelNBTIBudget = row.NBTIShift10y / tech.VT0P
+		area := w * l
+		row.TDDBEtaUseYears = tddb.Eta(eox, 400, area, tech.ToxNM) / Year
+		res.Rows = append(res.Rows, row)
+	}
+
+	var b strings.Builder
+	b.WriteString("Scaling study — why yield and reliability are *emerging* challenges\n")
+	t := report.NewTable("",
+		"node", "Tox [nm]", "VDD", "σΔVT min-size", "NBTI ΔVT @10y/400K", "ΔVT/VT0", "TDDB η(use)")
+	for _, r := range res.Rows {
+		t.AddRow(r.Node,
+			fmt.Sprintf("%.1f", r.ToxNM),
+			fmt.Sprintf("%.1f", r.VDD),
+			report.SI(r.SigmaVTMinSize, "V"),
+			report.SI(r.NBTIShift10y, "V"),
+			fmt.Sprintf("%.0f%%", 100*r.RelNBTIBudget),
+			report.Years(r.TDDBEtaUseYears*Year))
+	}
+	b.WriteString(t.String())
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	fmt.Fprintf(&b, "from %s to %s: min-size mismatch ×%.1f, NBTI budget share ×%.1f, oxide η ÷%.0f\n",
+		first.Node, last.Node,
+		last.SigmaVTMinSize/first.SigmaVTMinSize,
+		last.RelNBTIBudget/first.RelNBTIBudget,
+		first.TDDBEtaUseYears/math.Max(last.TDDBEtaUseYears, 1e-30))
+	return res, b.String()
+}

@@ -1,0 +1,92 @@
+package linalg
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// CMatrix is a dense, row-major complex matrix used by small-signal AC
+// analysis, where conductance and susceptance stamps combine into a single
+// complex system per frequency point.
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMatrix returns a zeroed rows×cols complex matrix. It panics on
+// non-positive dimensions.
+func NewCMatrix(rows, cols int) *CMatrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", rows, cols))
+	}
+	return &CMatrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *CMatrix) Add(i, j int, v complex128) { m.Data[i*m.Cols+j] += v }
+
+// Zero clears every element in place.
+func (m *CMatrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CSolve solves the complex system A·x = b with partial-pivoting Gaussian
+// elimination. a and b are not modified.
+func CSolve(a *CMatrix, b []complex128) ([]complex128, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: CSolve needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: CSolve dimension mismatch %d vs %d", len(b), a.Rows)
+	}
+	n := a.Rows
+	lu := append([]complex128(nil), a.Data...)
+	x := append([]complex128(nil), b...)
+	for k := 0; k < n; k++ {
+		p := k
+		maxAbs := cmplx.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(lu[i*n+k]); v > maxAbs {
+				maxAbs = v
+				p = i
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[k*n+j], lu[p*n+j] = lu[p*n+j], lu[k*n+j]
+			}
+			x[k], x[p] = x[p], x[k]
+		}
+		piv := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			f := lu[i*n+k] / piv
+			if f == 0 {
+				continue
+			}
+			lu[i*n+k] = 0
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= f * lu[k*n+j]
+			}
+			x[i] -= f * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu[i*n+j] * x[j]
+		}
+		x[i] = s / lu[i*n+i]
+	}
+	return x, nil
+}

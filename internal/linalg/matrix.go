@@ -1,0 +1,232 @@
+// Package linalg provides the dense linear-algebra kernels required by the
+// circuit simulator: real and complex matrices with LU factorisation and
+// solve. Circuit matrices from modified nodal analysis are small (tens to a
+// few hundred unknowns), so a dense partial-pivoting LU is both simple and
+// fast enough; no external BLAS is used.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrSingular is returned when a factorisation encounters an (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Matrix is a dense, row-major real matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zeroed rows×cols matrix. It panics on non-positive
+// dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j); this is the "stamp" operation of
+// nodal analysis.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Zero clears every element in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m·x. It panics on dimension mismatch.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&b, "% 12.5g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LU is a partial-pivoting LU factorisation P·A = L·U of a square matrix,
+// reusable for multiple right-hand sides.
+type LU struct {
+	n     int
+	lu    []float64
+	pivot []int
+	signs int // sign of the permutation, for Det
+}
+
+// Factor computes the LU factorisation of square matrix a. The input is not
+// modified. It returns ErrSingular when a pivot underflows.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Factor needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &LU{n: n, lu: append([]float64(nil), a.Data...), pivot: make([]int, n), signs: 1}
+	lu := f.lu
+	for i := range f.pivot {
+		f.pivot[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Find pivot row.
+		p := k
+		maxAbs := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > maxAbs {
+				maxAbs = v
+				p = i
+			}
+		}
+		if maxAbs == 0 || math.IsNaN(maxAbs) {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rowK := lu[k*n : (k+1)*n]
+			rowP := lu[p*n : (p+1)*n]
+			for j := range rowK {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+			f.pivot[k], f.pivot[p] = f.pivot[p], f.pivot[k]
+			f.signs = -f.signs
+		}
+		pivVal := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			lik := lu[i*n+k] / pivVal
+			lu[i*n+k] = lik
+			if lik == 0 {
+				continue
+			}
+			rowI := lu[i*n : (i+1)*n]
+			rowK := lu[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= lik * rowK[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve returns x with A·x = b. b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic(fmt.Sprintf("linalg: Solve dimension mismatch %d vs %d", len(b), f.n))
+	}
+	n := f.n
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.pivot[i]]
+	}
+	// Forward substitution with unit-lower L.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := f.lu[i*n : i*n+i]
+		for j, v := range row {
+			s -= v * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	return x
+}
+
+// Det returns the determinant from the factorisation.
+func (f *LU) Det() float64 {
+	d := float64(f.signs)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// Solve factors a and solves A·x = b in one call. Use Factor + LU.Solve to
+// reuse a factorisation across right-hand sides.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// NormInf returns the infinity norm (maximum absolute row sum).
+func (m *Matrix) NormInf() float64 {
+	best := 0.0
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for j := 0; j < m.Cols; j++ {
+			s += math.Abs(m.At(i, j))
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// VecNormInf returns max |x_i| of a vector, 0 for an empty one.
+func VecNormInf(x []float64) float64 {
+	best := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// VecSub returns a - b element-wise. It panics on length mismatch.
+func VecSub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("linalg: VecSub length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}

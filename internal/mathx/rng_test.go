@@ -1,0 +1,167 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		u := r.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of range: %g", u)
+		}
+	}
+}
+
+func TestRNGFloat64Uniformity(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		sum += u
+		sumsq += u * u
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %g, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Errorf("uniform variance = %g, want ~%g", variance, 1.0/12)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	var run Running
+	for i := 0; i < n; i++ {
+		run.Add(r.Norm())
+	}
+	if math.Abs(run.Mean()) > 0.02 {
+		t.Errorf("normal mean = %g, want ~0", run.Mean())
+	}
+	if math.Abs(run.Variance()-1) > 0.03 {
+		t.Errorf("normal variance = %g, want ~1", run.Variance())
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(17)
+	counts := make([]int, 5)
+	for i := 0; i < 50000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn(5) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("Intn bucket %d has %d/50000 hits, want ~10000", i, c)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(19)
+	p := r.Perm(20)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(23)
+	c1 := parent.Split(0)
+	c2 := parent.Split(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams produced %d/100 identical outputs", same)
+	}
+}
+
+func TestRNGSplitDeterministic(t *testing.T) {
+	mk := func() uint64 {
+		return NewRNG(23).Split(5).Uint64()
+	}
+	if mk() != mk() {
+		t.Fatal("Split stream not reproducible")
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(29)
+	var run Running
+	for i := 0; i < 100000; i++ {
+		x := r.Exp()
+		if x < 0 {
+			t.Fatalf("Exp returned negative %g", x)
+		}
+		run.Add(x)
+	}
+	if math.Abs(run.Mean()-1) > 0.02 {
+		t.Errorf("Exp mean = %g, want ~1", run.Mean())
+	}
+}
+
+func TestRNGFloat64OpenNeverZero(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			u := r.Float64Open()
+			if u <= 0 || u >= 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package netlist_test
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Example parses a hierarchical deck and solves it: the inverter lives in
+// a subcircuit, instantiated twice as a buffer.
+func Example() {
+	deck := `
+* buffer from two inverters
+.tech 90nm
+.subckt INV in out vdd
+MN out in 0 0 NMOS W=1u L=90n
+MP out in vdd vdd PMOS W=2u L=90n
+.ends
+VDD vdd 0 DC 1.1
+VIN a 0 DC 1.1
+X1 a m vdd INV
+X2 m y vdd INV
+.end
+`
+	d, err := netlist.Parse(deck)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sol, err := d.Circuit.OperatingPoint()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %d devices, V(y) = %.2f V\n", d.Title, len(d.MOSFETs), sol.Voltage("y"))
+	// Output:
+	// buffer from two inverters: 4 devices, V(y) = 1.10 V
+}
+
+// ExampleParseValue shows the engineering-suffix number format.
+func ExampleParseValue() {
+	for _, s := range []string{"4.7k", "25m", "2meg"} {
+		v, _ := netlist.ParseValue(s)
+		fmt.Println(v)
+	}
+	// Output:
+	// 4700
+	// 0.025
+	// 2e+06
+}

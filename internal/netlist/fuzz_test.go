@@ -1,0 +1,64 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+// TestParseNeverPanics feeds the parser pseudo-random token soup built
+// from its own vocabulary: errors are fine, panics are not.
+func TestParseNeverPanics(t *testing.T) {
+	vocab := []string{
+		"R1", "C2", "L3", "V4", "I5", "M6", "D7", "G8", "X9", "Q0",
+		"a", "b", "0", "vdd", "out", "in",
+		"1k", "2u", "-3", "DC", "SIN(0", "1", "1meg)", "PULSE(0", "NMOS", "PMOS",
+		"W=1u", "L=90n", ".tech", ".temp", ".end", ".subckt", ".ends",
+		"90nm", "300", "*", ";", "(", ")",
+	}
+	if err := quick.Check(func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		var b strings.Builder
+		lines := 1 + rng.Intn(12)
+		for l := 0; l < lines; l++ {
+			tokens := rng.Intn(8)
+			for k := 0; k < tokens; k++ {
+				b.WriteString(vocab[rng.Intn(len(vocab))])
+				b.WriteByte(' ')
+			}
+			b.WriteByte('\n')
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("parser panicked on:\n%s\npanic: %v", b.String(), r)
+			}
+		}()
+		_, _ = Parse(b.String())
+		return true
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseNeverPanicsOnGarbageBytes drives raw noise through the parser.
+func TestParseNeverPanicsOnGarbageBytes(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(rng.Intn(128))
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("parser panicked on %q: %v", buf, r)
+			}
+		}()
+		_, _ = Parse(string(buf))
+		return true
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/mathx"
+)
+
+func TestParseValueSuffixes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1", 1}, {"1k", 1e3}, {"2.2u", 2.2e-6}, {"10meg", 1e7},
+		{"1m", 1e-3}, {"100n", 1e-7}, {"3p", 3e-12}, {"5f", 5e-15},
+		{"2g", 2e9}, {"1t", 1e12}, {"1e3", 1e3}, {"-4.5", -4.5},
+		{"1.5K", 1500}, {"2E-6", 2e-6}, {"0.5MEG", 5e5},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", c.in, err)
+			continue
+		}
+		if !mathx.ApproxEqual(got, c.want, 1e-12, 0) {
+			t.Errorf("ParseValue(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "1..2", "k"} {
+		if _, err := ParseValue(in); err == nil {
+			t.Errorf("ParseValue(%q) should fail", in)
+		}
+	}
+}
+
+const dividerDeck = `
+* simple divider
+V1 in 0 DC 10
+R1 in out 1k
+R2 out 0 1k
+.end
+`
+
+func TestParseAndSolveDivider(t *testing.T) {
+	d, err := Parse(dividerDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Title != "simple divider" {
+		t.Errorf("title = %q", d.Title)
+	}
+	sol, err := d.Circuit.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(sol.Voltage("out"), 5, 1e-9, 1e-9) {
+		t.Errorf("V(out) = %g", sol.Voltage("out"))
+	}
+}
+
+const inverterDeck = `
+* cmos inverter at 90nm
+.tech 90nm
+.temp 300
+VDD vdd 0 DC 1.1
+VIN in 0 DC 0.55
+MN out in 0 0 NMOS W=1u L=90n
+MP out in vdd vdd PMOS W=2u L=90n
+.end
+`
+
+func TestParseMOSFETDeck(t *testing.T) {
+	d, err := Parse(inverterDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tech.Name != "90nm" {
+		t.Errorf("tech = %s", d.Tech.Name)
+	}
+	if len(d.MOSFETs) != 2 {
+		t.Fatalf("parsed %d MOSFETs, want 2", len(d.MOSFETs))
+	}
+	mn := d.MOSFETs["MN"]
+	if mn.Dev.Params.W != 1e-6 || !mathx.ApproxEqual(mn.Dev.Params.L, 90e-9, 1e-12, 0) {
+		t.Errorf("MN geometry wrong: W=%g L=%g", mn.Dev.Params.W, mn.Dev.Params.L)
+	}
+	sol, err := d.Circuit.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := sol.Voltage("out")
+	if v < 0.05 || v > 1.05 {
+		t.Errorf("inverter mid-rail output = %g implausible", v)
+	}
+}
+
+func TestTechDirectiveAfterMOSFET(t *testing.T) {
+	// .tech placed after the device lines must still apply (deferred
+	// MOSFET construction).
+	deck := `
+M1 d g 0 0 NMOS W=1u L=65n
+VDD d 0 DC 1.1
+VG g 0 DC 0.6
+.tech 65nm
+`
+	d, err := Parse(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MOSFETs["M1"].Dev.Params.VT0 != 0.33 {
+		t.Errorf("tech directive not applied: VT0 = %g", d.MOSFETs["M1"].Dev.Params.VT0)
+	}
+}
+
+func TestParseSineSource(t *testing.T) {
+	d, err := Parse(`
+V1 a 0 SIN(0.5 0.2 1meg 90)
+R1 a 0 1k
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Circuit.VSourceByName("V1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := v.W.(circuit.Sine)
+	if !ok {
+		t.Fatalf("waveform is %T", v.W)
+	}
+	if s.Offset != 0.5 || s.Ampl != 0.2 || s.Freq != 1e6 {
+		t.Errorf("sine = %+v", s)
+	}
+	if !mathx.ApproxEqual(s.Phase, math.Pi/2, 1e-12, 0) {
+		t.Errorf("phase = %g, want pi/2", s.Phase)
+	}
+}
+
+func TestParsePulseSource(t *testing.T) {
+	d, err := Parse(`
+V1 a 0 PULSE(0 1.8 1n 10p 10p 5n 10n)
+R1 a 0 1k
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := d.Circuit.VSourceByName("V1")
+	p, ok := v.W.(circuit.Pulse)
+	if !ok {
+		t.Fatalf("waveform is %T", v.W)
+	}
+	if p.High != 1.8 || p.Period != 10e-9 {
+		t.Errorf("pulse = %+v", p)
+	}
+}
+
+func TestParseBareNumberIsDC(t *testing.T) {
+	d, err := Parse(`
+V1 a 0 3.3
+R1 a 0 1k
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := d.Circuit.VSourceByName("V1")
+	if dc, ok := v.W.(circuit.DC); !ok || float64(dc) != 3.3 {
+		t.Errorf("waveform = %#v", v.W)
+	}
+}
+
+func TestParseAllElementKinds(t *testing.T) {
+	d, err := Parse(`
+* everything
+V1 in 0 DC 1
+I1 0 n1 DC 1m
+R1 in n1 1k
+C1 n1 0 1u
+L1 n1 n2 1m
+R2 n2 0 1k
+D1 in n3
+R3 n3 0 10k
+G1 0 n4 in 0 1m
+R4 n4 0 1k
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Circuit.OperatingPoint(); err != nil {
+		t.Fatalf("kitchen-sink deck does not solve: %v", err)
+	}
+	if got := len(d.Circuit.ElementNames()); got != 10 {
+		t.Errorf("parsed %d elements, want 10", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		deck string
+		frag string
+	}{
+		{"R1 a b", "resistor needs"},
+		{"R1 a b xx", "bad number"},
+		{"Q1 a b c", "unknown element"},
+		{".tech 9nm", "unknown technology"},
+		{".bogus", "unknown directive"},
+		{"M1 d g s NMOS", "MOSFET needs"},
+		{"M1 d g s b FINFET", "unknown MOSFET model"},
+		{"M1 d g s b NMOS Z=1", "unknown MOSFET parameter"},
+		{"V1 a 0 SIN(1 2)", "SIN needs"},
+		{".temp -5", "bad temperature"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.deck)
+		if err == nil {
+			t.Errorf("deck %q should fail", c.deck)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("deck %q error %q does not mention %q", c.deck, err, c.frag)
+		}
+	}
+}
+
+func TestTrailingCommentsIgnored(t *testing.T) {
+	d, err := Parse(`
+V1 a 0 DC 1 ; supply
+R1 a 0 1k   ; load
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := d.Circuit.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(sol.Voltage("a"), 1, 1e-9, 1e-12) {
+		t.Error("comment handling broke the deck")
+	}
+}
+
+func TestParseVCVS(t *testing.T) {
+	d, err := Parse(`
+V1 in 0 DC 0.5
+Rin in 0 1meg
+E1 out 0 in 0 4
+RL out 0 1k
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := d.Circuit.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(sol.Voltage("out"), 2.0, 1e-9, 1e-12) {
+		t.Errorf("parsed VCVS output = %g, want 2", sol.Voltage("out"))
+	}
+	if _, err := Parse("E1 a b c 1"); err == nil {
+		t.Error("short VCVS line accepted")
+	}
+}

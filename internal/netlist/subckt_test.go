@@ -1,0 +1,161 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+const invDeck = `
+* inverter as a subcircuit
+.tech 90nm
+.subckt INV in out vdd
+MN out in 0 0 NMOS W=1u L=90n
+MP out in vdd vdd PMOS W=2u L=90n
+.ends
+VDD vdd 0 DC 1.1
+VIN a 0 DC 0
+X1 a b vdd INV
+X2 b c vdd INV
+.end
+`
+
+func TestSubcktExpansion(t *testing.T) {
+	d, err := Parse(invDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two instances → four MOSFETs with dotted names.
+	for _, name := range []string{"X1.MN", "X1.MP", "X2.MN", "X2.MP"} {
+		if _, ok := d.MOSFETs[name]; !ok {
+			have := make([]string, 0, len(d.MOSFETs))
+			for k := range d.MOSFETs {
+				have = append(have, k)
+			}
+			t.Errorf("missing flattened device %q (have %v)", name, have)
+		}
+	}
+	// The two inverters in series: VIN=0 → b low? No: X1 inverts a=0 to
+	// b=high, X2 inverts to c=low.
+	sol, err := d.Circuit.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb := sol.Voltage("b"); vb < 1.0 {
+		t.Errorf("first inverter output %g, want ~VDD", vb)
+	}
+	if vc := sol.Voltage("c"); vc > 0.1 {
+		t.Errorf("second inverter output %g, want ~0", vc)
+	}
+}
+
+const nestedDeck = `
+.tech 90nm
+.subckt INV in out vdd
+MN out in 0 0 NMOS W=1u L=90n
+MP out in vdd vdd PMOS W=2u L=90n
+.ends
+.subckt BUF in out vdd
+X1 in mid vdd INV
+X2 mid out vdd INV
+.ends
+VDD vdd 0 DC 1.1
+VIN a 0 DC 1.1
+XB a y vdd BUF
+`
+
+func TestNestedSubckt(t *testing.T) {
+	d, err := Parse(nestedDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.MOSFETs) != 4 {
+		t.Fatalf("expected 4 devices, got %v", len(d.MOSFETs))
+	}
+	if _, ok := d.MOSFETs["XB.X1.MN"]; !ok {
+		t.Error("nested flattening names wrong")
+	}
+	sol, err := d.Circuit.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A buffer: high in → high out; internal node is low.
+	if vy := sol.Voltage("y"); vy < 1.0 {
+		t.Errorf("buffer output %g, want ~VDD", vy)
+	}
+	if vm := sol.Voltage("XB.mid"); vm > 0.1 {
+		t.Errorf("internal node %g, want ~0", vm)
+	}
+}
+
+func TestSubcktPassivesAndSourcesInside(t *testing.T) {
+	deck := `
+.subckt DIV top out
+R1 top out 1k
+R2 out 0 1k
+C1 out 0 1p
+.ends
+V1 in 0 DC 2
+X1 in o DIV
+`
+	d, err := Parse(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := d.Circuit.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(sol.Voltage("o"), 1.0, 1e-9, 1e-12) {
+		t.Errorf("divider inside subckt gives %g, want 1", sol.Voltage("o"))
+	}
+}
+
+func TestSubcktErrors(t *testing.T) {
+	cases := []struct {
+		deck string
+		frag string
+	}{
+		{".subckt A\n.ends", ".subckt needs"},
+		{".ends", ".ends without"},
+		{".subckt A x\n.subckt B y\n.ends\n.ends", "nested .subckt"},
+		{".subckt A x\nR1 x 0 1k\n.ends\nX1 a b A\nV1 a 0 DC 1", "connects 2 nodes"},
+		{"X1 a b NOPE\nV1 a 0 DC 1", "unknown subcircuit"},
+		{".subckt A x\n.tech 90nm\n.ends", "not allowed inside"},
+		{".subckt A x\nR1 x 0 1k", "unterminated"},
+		{".subckt A x\nR1 x 0 1k\n.ends\n.subckt A y\nR1 y 0 1k\n.ends", "duplicate subcircuit"},
+		{"X1 A", "instance needs"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.deck)
+		if err == nil {
+			t.Errorf("deck %q should fail", c.deck)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("deck %q error %q missing %q", c.deck, err, c.frag)
+		}
+	}
+}
+
+func TestSubcktGroundStaysGlobal(t *testing.T) {
+	deck := `
+.subckt LOAD a
+R1 a 0 2k
+.ends
+I1 0 n1 DC 1m
+X1 n1 LOAD
+`
+	d, err := Parse(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := d.Circuit.OperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(sol.Voltage("n1"), 2.0, 1e-9, 1e-12) {
+		t.Errorf("V(n1) = %g, want 2 (ground must not be prefixed)", sol.Voltage("n1"))
+	}
+}

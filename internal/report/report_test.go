@@ -1,0 +1,117 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Error("missing title")
+	}
+	// All data lines should be equally wide (alignment).
+	if len(lines[3]) == 0 || len(lines[1]) < len("name  value") {
+		t.Errorf("alignment looks broken:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Error("NumRows wrong")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "x", "y", "s")
+	tb.AddRowf(1.23456789, 42, "hi")
+	out := tb.String()
+	if !strings.Contains(out, "1.235") {
+		t.Errorf("float not formatted with 4 significant digits:\n%s", out)
+	}
+	if !strings.Contains(out, "42") || !strings.Contains(out, "hi") {
+		t.Errorf("row content missing:\n%s", out)
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	if !strings.Contains(tb.String(), "only") {
+		t.Error("short row lost")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV([]string{"x", "y"}, [][]float64{{1, 2}, {3.5, -4}})
+	want := "x,y\n1,2\n3.5,-4\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestSI(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{2.5e-9, "s", "2.5ns"},
+		{4.7e3, "Ω", "4.7kΩ"},
+		{0, "V", "0V"},
+		{1.1, "V", "1.1V"},
+		{3e6, "Hz", "3MHz"},
+		{2e-6, "A", "2uA"},
+		{1.5e-13, "F", "150fF"},
+		{math.Inf(1), "s", "infs"},
+	}
+	for _, c := range cases {
+		if got := SI(c.v, c.unit); got != c.want {
+			t.Errorf("SI(%g, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}
+
+func TestYears(t *testing.T) {
+	const year = 365.25 * 24 * 3600
+	if got := Years(10 * year); got != "10yr" {
+		t.Errorf("Years = %q", got)
+	}
+	if Years(math.Inf(1)) != "inf" {
+		t.Error("infinite lifetime must print inf")
+	}
+}
+
+func TestTextHist(t *testing.T) {
+	h := mathx.NewHistogram(0, 10, 2)
+	for i := 0; i < 8; i++ {
+		h.Add(2)
+	}
+	h.Add(7)
+	h.Add(-5)
+	out := TextHist(h, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // 2 bins + under/over note
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], strings.Repeat("#", 20)) {
+		t.Error("fullest bin should reach full width")
+	}
+	if !strings.Contains(lines[2], "under: 1") {
+		t.Error("missing under/over note")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("fig", "x", "y", []float64{1, 2}, []float64{10, 20})
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "20") {
+		t.Errorf("series output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,32 @@
+package sram_test
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/sram"
+)
+
+// Example extracts the hold and read static noise margins of a nominal
+// 65 nm cell — the read margin is always the smaller one because the
+// access transistor disturbs the low node.
+func Example() {
+	cell, err := sram.NewCell(sram.DefaultCell(device.MustTech("65nm")))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	hold, err := cell.HoldSNM(41)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	read, err := cell.ReadSNM(41)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("hold %.0f mV, read %.0f mV\n", hold*1e3, read*1e3)
+	// Output:
+	// hold 406 mV, read 184 mV
+}

@@ -1,0 +1,214 @@
+package sram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/mathx"
+)
+
+func TestCellValidation(t *testing.T) {
+	cfg := DefaultCell(device.MustTech("65nm"))
+	if _, err := NewCell(cfg); err != nil {
+		t.Fatalf("default cell rejected: %v", err)
+	}
+	bad := cfg
+	bad.WPD = 0
+	if _, err := NewCell(bad); err == nil {
+		t.Error("zero width accepted")
+	}
+	bad = cfg
+	bad.Tech = nil
+	if _, err := NewCell(bad); err == nil {
+		t.Error("missing tech accepted")
+	}
+}
+
+func TestButterflyShape(t *testing.T) {
+	cell, err := NewCell(DefaultCell(device.MustTech("65nm")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cell.ButterflyCurve(41, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdd := cell.Config.Tech.VDD
+	// Both VTCs swing essentially rail to rail and fall monotonically.
+	for _, curve := range [][]float64{b.V1, b.V2} {
+		if curve[0] < 0.9*vdd {
+			t.Errorf("VTC starts at %g, want ~VDD", curve[0])
+		}
+		if curve[len(curve)-1] > 0.1*vdd {
+			t.Errorf("VTC ends at %g, want ~0", curve[len(curve)-1])
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i] > curve[i-1]+1e-6 {
+				t.Fatal("VTC not monotone")
+			}
+		}
+	}
+}
+
+func TestHoldSNMPlausible(t *testing.T) {
+	cell, err := NewCell(DefaultCell(device.MustTech("65nm")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snm, err := cell.HoldSNM(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdd := cell.Config.Tech.VDD
+	// Hold SNM of a balanced cell is typically 0.25-0.45·VDD.
+	if snm < 0.15*vdd || snm > 0.5*vdd {
+		t.Errorf("hold SNM %g (%.0f%% of VDD) implausible", snm, 100*snm/vdd)
+	}
+}
+
+func TestReadSNMSmallerThanHold(t *testing.T) {
+	cell, err := NewCell(DefaultCell(device.MustTech("65nm")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold, err := cell.HoldSNM(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read, err := cell.ReadSNM(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read >= hold {
+		t.Errorf("read SNM %g must be below hold SNM %g (access disturb)", read, hold)
+	}
+	if read <= 0 {
+		t.Error("nominal cell must have positive read margin")
+	}
+}
+
+func TestMismatchSpreadsSNM(t *testing.T) {
+	cfg := DefaultCell(device.MustTech("45nm"))
+	var run mathx.Running
+	rng := mathx.NewRNG(3)
+	for i := 0; i < 25; i++ {
+		cell, err := NewCell(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell.ApplyMismatch(rng.Split(uint64(i)))
+		snm, err := cell.ReadSNM(31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Add(snm)
+	}
+	if run.StdDev() <= 0 {
+		t.Fatal("mismatch produced no SNM spread")
+	}
+	// Min-size 45 nm devices: spread should be a visible fraction of the
+	// mean.
+	if run.StdDev() < 0.03*run.Mean() {
+		t.Errorf("SNM spread %g vs mean %g suspiciously tight", run.StdDev(), run.Mean())
+	}
+}
+
+func TestScalingShrinksSNM(t *testing.T) {
+	snmAt := func(node string) float64 {
+		cell, err := NewCell(DefaultCell(device.MustTech(node)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snm, err := cell.ReadSNM(41)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snm
+	}
+	// Absolute margins shrink with the supply as CMOS scales.
+	if snmAt("32nm") >= snmAt("180nm") {
+		t.Error("scaled cell should have less absolute noise margin")
+	}
+}
+
+func TestNBTIAsymmetryDegradesSNM(t *testing.T) {
+	cfg := DefaultCell(device.MustTech("65nm"))
+	fresh, err := NewCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshSNM, err := fresh.ReadSNM(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aged, err := NewCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aged.ApplyNBTIAsymmetry(0.05) // 50 mV on one pull-up
+	agedSNM, err := aged.ReadSNM(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agedSNM >= freshSNM {
+		t.Errorf("static NBTI asymmetry must cost margin: %g >= %g", agedSNM, freshSNM)
+	}
+	// More shift, more loss.
+	worse, _ := NewCell(cfg)
+	worse.ApplyNBTIAsymmetry(0.1)
+	worseSNM, err := worse.ReadSNM(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worseSNM >= agedSNM {
+		t.Errorf("SNM loss must grow with ΔVT: %g >= %g", worseSNM, agedSNM)
+	}
+}
+
+func TestStabilityYieldTrends(t *testing.T) {
+	tech := device.MustTech("45nm")
+	cfg := DefaultCell(tech)
+	// A loose limit passes almost everything; a limit near the nominal
+	// SNM fails roughly half.
+	nominal, err := NewCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomSNM, err := nominal.ReadSNM(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := StabilityYield(cfg, nomSNM/3, 40, 31, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := StabilityYield(cfg, nomSNM, 40, 31, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Yield <= tight.Yield {
+		t.Errorf("loose limit yield %v should beat tight %v", loose, tight)
+	}
+	if loose.Yield < 0.8 {
+		t.Errorf("loose-limit yield %v too low", loose)
+	}
+	if math.Abs(tight.Yield-0.5) > 0.35 {
+		t.Errorf("nominal-limit yield %v should be near 50%%", tight)
+	}
+	// Determinism.
+	again, err := StabilityYield(cfg, nomSNM, 40, 31, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != tight {
+		t.Error("stability yield not reproducible")
+	}
+}
+
+func TestStabilityYieldValidation(t *testing.T) {
+	cfg := DefaultCell(device.MustTech("65nm"))
+	if _, err := StabilityYield(cfg, 0.1, 0, 31, 1); err == nil {
+		t.Error("zero cells accepted")
+	}
+}

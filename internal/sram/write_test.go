@@ -1,0 +1,101 @@
+package sram
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestWriteTripInRange(t *testing.T) {
+	cell, err := NewCell(DefaultCell(device.MustTech("65nm")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip, err := cell.WriteTrip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdd := cell.Config.Tech.VDD
+	if trip <= 0 || trip >= vdd {
+		t.Fatalf("write trip %g outside (0, VDD)", trip)
+	}
+	// Typical cells trip somewhere in the lower half of the swing.
+	if trip > 0.8*vdd {
+		t.Errorf("trip %g suspiciously close to VDD — cell too easy to write", trip)
+	}
+}
+
+func TestStrongerAccessWritesEasier(t *testing.T) {
+	tech := device.MustTech("65nm")
+	trip := func(wpgScale float64) float64 {
+		cfg := DefaultCell(tech)
+		cfg.WPG *= wpgScale
+		cell, err := NewCell(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := cell.WriteTrip()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	weak := trip(0.6)
+	strong := trip(1.8)
+	if strong <= weak {
+		t.Errorf("stronger access device must flip earlier in the ramp: %g <= %g", strong, weak)
+	}
+}
+
+func TestStrongerPullUpWritesHarder(t *testing.T) {
+	tech := device.MustTech("65nm")
+	trip := func(wpuScale float64) float64 {
+		cfg := DefaultCell(tech)
+		cfg.WPU *= wpuScale
+		cell, err := NewCell(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := cell.WriteTrip()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	weak := trip(0.7)
+	strong := trip(2.0)
+	if strong >= weak {
+		t.Errorf("stronger pull-up must resist the write: trip %g >= %g", strong, weak)
+	}
+}
+
+func TestReadWriteConflict(t *testing.T) {
+	// The classic SRAM design tension: upsizing the access device helps
+	// writes but hurts read stability. Verify both directions at once.
+	tech := device.MustTech("65nm")
+	measure := func(wpgScale float64) (snm, trip float64) {
+		cfg := DefaultCell(tech)
+		cfg.WPG *= wpgScale
+		cell, err := NewCell(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snm, err = cell.ReadSNM(31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trip, err = cell.WriteTrip()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snm, trip
+	}
+	snmSmall, tripSmall := measure(0.7)
+	snmBig, tripBig := measure(1.6)
+	if snmBig >= snmSmall {
+		t.Errorf("bigger access should hurt read SNM: %g >= %g", snmBig, snmSmall)
+	}
+	if tripBig <= tripSmall {
+		t.Errorf("bigger access should help writes: %g <= %g", tripBig, tripSmall)
+	}
+}

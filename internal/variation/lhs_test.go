@@ -1,0 +1,105 @@
+package variation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestLatinHypercubeStratification(t *testing.T) {
+	const n, dims = 64, 5
+	s := LatinHypercube(n, dims, 3)
+	if len(s) != n || len(s[0]) != dims {
+		t.Fatalf("shape %d×%d", len(s), len(s[0]))
+	}
+	// Exactly one sample per stratum in every dimension.
+	for d := 0; d < dims; d++ {
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v := s[i][d]
+			if v < 0 || v >= 1 {
+				t.Fatalf("sample %g out of [0,1)", v)
+			}
+			bin := int(v * n)
+			if seen[bin] {
+				t.Fatalf("dimension %d has two samples in stratum %d", d, bin)
+			}
+			seen[bin] = true
+		}
+	}
+}
+
+func TestLatinHypercubeDeterministic(t *testing.T) {
+	a := LatinHypercube(16, 3, 7)
+	b := LatinHypercube(16, 3, 7)
+	for i := range a {
+		for d := range a[i] {
+			if a[i][d] != b[i][d] {
+				t.Fatal("LHS not reproducible")
+			}
+		}
+	}
+}
+
+func TestLHSNormalsMoments(t *testing.T) {
+	s := LHSNormals(512, 4, 9)
+	for d := 0; d < 4; d++ {
+		var run mathx.Running
+		for i := range s {
+			run.Add(s[i][d])
+		}
+		// Stratification nails the marginal much tighter than sqrt(n) MC.
+		if math.Abs(run.Mean()) > 0.02 {
+			t.Errorf("dim %d mean %g", d, run.Mean())
+		}
+		if math.Abs(run.StdDev()-1) > 0.05 {
+			t.Errorf("dim %d std %g", d, run.StdDev())
+		}
+	}
+}
+
+func TestLHSReducesEstimatorVariance(t *testing.T) {
+	// Estimate E[max_i |x_i|] over 8 dimensions with batches of 25
+	// samples; the LHS batch means must scatter less than plain MC.
+	const dims, batch, reps = 8, 25, 40
+	statistic := func(rows [][]float64) float64 {
+		total := 0.0
+		for _, row := range rows {
+			worst := 0.0
+			for _, v := range row {
+				if a := math.Abs(v); a > worst {
+					worst = a
+				}
+			}
+			total += worst
+		}
+		return total / float64(len(rows))
+	}
+	var mcMeans, lhsMeans mathx.Running
+	for r := uint64(0); r < reps; r++ {
+		rng := mathx.NewRNG(1000 + r)
+		mcRows := make([][]float64, batch)
+		for i := range mcRows {
+			row := make([]float64, dims)
+			for d := range row {
+				row[d] = rng.Norm()
+			}
+			mcRows[i] = row
+		}
+		mcMeans.Add(statistic(mcRows))
+		lhsMeans.Add(statistic(LHSNormals(batch, dims, 2000+r)))
+	}
+	if lhsMeans.StdDev() >= mcMeans.StdDev() {
+		t.Errorf("LHS estimator σ %g not below MC %g", lhsMeans.StdDev(), mcMeans.StdDev())
+	}
+}
+
+func TestLatinHypercubePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LatinHypercube(0, 3, 1)
+}

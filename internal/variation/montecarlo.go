@@ -1,0 +1,138 @@
+package variation
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/mathx"
+)
+
+// Trial is one Monte-Carlo evaluation. It receives a private, reproducible
+// RNG stream and the trial index, and returns the sampled metric. Returning
+// an error marks the trial failed (counted, not fatal).
+type Trial func(rng *mathx.RNG, i int) (float64, error)
+
+// MCResult is the outcome of a Monte-Carlo run. Values holds the metric of
+// every successful trial in trial order (failed trials are skipped).
+type MCResult struct {
+	Values   []float64
+	Failures int
+	// N is the requested trial count.
+	N int
+}
+
+// Mean returns the sample mean of the collected values.
+func (r *MCResult) Mean() float64 { return mathx.Mean(r.Values) }
+
+// StdDev returns the sample standard deviation.
+func (r *MCResult) StdDev() float64 { return mathx.StdDev(r.Values) }
+
+// Quantile returns the p-quantile of the collected values.
+func (r *MCResult) Quantile(p float64) float64 { return mathx.Quantile(r.Values, p) }
+
+// MonteCarlo runs n trials with the given seed. Trials execute in parallel
+// but every trial's RNG stream depends only on (seed, index), so results
+// are bit-identical regardless of GOMAXPROCS. Only trial errors are
+// tolerated; n <= 0 is an error.
+func MonteCarlo(n int, seed uint64, trial Trial) (*MCResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("variation: MonteCarlo needs n > 0, got %d", n)
+	}
+	root := mathx.NewRNG(seed)
+	type slot struct {
+		value float64
+		ok    bool
+	}
+	slots := make([]slot, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rng := root.Split(uint64(i))
+				v, err := trial(rng, i)
+				if err == nil && !math.IsNaN(v) {
+					slots[i] = slot{value: v, ok: true}
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	res := &MCResult{N: n, Values: make([]float64, 0, n)}
+	for _, s := range slots {
+		if s.ok {
+			res.Values = append(res.Values, s.value)
+		} else {
+			res.Failures++
+		}
+	}
+	return res, nil
+}
+
+// Spec is an interval specification on a metric: the circuit passes when
+// Lo <= value <= Hi. Use ±Inf for one-sided specs.
+type Spec struct {
+	Name   string
+	Lo, Hi float64
+}
+
+// Pass reports whether v meets the spec.
+func (s Spec) Pass(v float64) bool { return v >= s.Lo && v <= s.Hi }
+
+// YieldEstimate is a binomial yield with a Wilson 95 % confidence interval.
+type YieldEstimate struct {
+	Pass, Total int
+	Yield       float64
+	// Lo95 and Hi95 bound the Wilson score interval.
+	Lo95, Hi95 float64
+}
+
+// String formats the estimate as "87.3% [84.1, 90.0]".
+func (y YieldEstimate) String() string {
+	return fmt.Sprintf("%.1f%% [%.1f, %.1f]", 100*y.Yield, 100*y.Lo95, 100*y.Hi95)
+}
+
+// EstimateYield computes the fraction of values meeting spec with a Wilson
+// 95 % interval. Failed (absent) trials are not counted; pass total
+// separately if they should count as fails.
+func EstimateYield(values []float64, spec Spec) YieldEstimate {
+	pass := 0
+	for _, v := range values {
+		if spec.Pass(v) {
+			pass++
+		}
+	}
+	return YieldFromCounts(pass, len(values))
+}
+
+// YieldFromCounts computes the Wilson interval for pass successes out of
+// total trials.
+func YieldFromCounts(pass, total int) YieldEstimate {
+	y := YieldEstimate{Pass: pass, Total: total}
+	if total == 0 {
+		return y
+	}
+	p := float64(pass) / float64(total)
+	y.Yield = p
+	const z = 1.959963984540054 // 97.5th normal percentile
+	n := float64(total)
+	denom := 1 + z*z/n
+	centre := (p + z*z/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	y.Lo95 = math.Max(0, centre-half)
+	y.Hi95 = math.Min(1, centre+half)
+	return y
+}

@@ -1,0 +1,139 @@
+package variation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/mathx"
+)
+
+func TestMinAreaForOffsetRoundTrip(t *testing.T) {
+	tech := device.MustTech("90nm")
+	area, err := MinAreaForOffset(tech, 5e-3, 0.997, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if area <= 0 {
+		t.Fatal("non-positive area")
+	}
+	// At that area, σ·z must equal the spec.
+	w := math.Sqrt(area)
+	sigma := tech.SigmaVT(w, w, 0)
+	z := mathx.NormQuantile((1 + 0.997) / 2)
+	if !mathx.ApproxEqual(sigma*z, 5e-3, 1e-9, 0) {
+		t.Errorf("round trip: σ·z = %g, want 5 mV", sigma*z)
+	}
+}
+
+func TestMinAreaMonteCarloConfirms(t *testing.T) {
+	// Fabricate pairs at exactly the computed area and verify the yield.
+	tech := device.MustTech("65nm")
+	const spec, yield = 8e-3, 0.9
+	area, err := MinAreaForOffset(tech, spec, yield, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := math.Sqrt(area)
+	rng := mathx.NewRNG(3)
+	pass, total := 0, 20000
+	for i := 0; i < total; i++ {
+		if math.Abs(SamplePairDeltaVT(tech, w, w, 0, rng)) < spec {
+			pass++
+		}
+	}
+	got := float64(pass) / float64(total)
+	if math.Abs(got-yield) > 0.01 {
+		t.Errorf("MC yield %g, want %g", got, yield)
+	}
+}
+
+func TestMinAreaTighterSpecNeedsMoreArea(t *testing.T) {
+	tech := device.MustTech("90nm")
+	a1, err := MinAreaForOffset(tech, 10e-3, 0.99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := MinAreaForOffset(tech, 2e-3, 0.99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5× tighter spec needs 25× the area.
+	if !mathx.ApproxEqual(a2/a1, 25, 1e-9, 0) {
+		t.Errorf("area scaling = %g, want 25", a2/a1)
+	}
+}
+
+func TestMinAreaGradientDominatedFails(t *testing.T) {
+	tech := device.MustTech("90nm")
+	// 1 mV spec at 3σ with devices 1 mm apart: gradient 2 V/m × 1e-3 m =
+	// 2 mV already exceeds the σ budget.
+	if _, err := MinAreaForOffset(tech, 1e-3, 0.997, 1e-3); err == nil {
+		t.Error("gradient-dominated spec accepted")
+	}
+}
+
+func TestMinAreaValidation(t *testing.T) {
+	tech := device.MustTech("90nm")
+	if _, err := MinAreaForOffset(tech, 0, 0.9, 0); err == nil {
+		t.Error("zero spec accepted")
+	}
+	if _, err := MinAreaForOffset(tech, 1e-3, 1.5, 0); err == nil {
+		t.Error("bad yield accepted")
+	}
+}
+
+func TestMirrorAccuracyTrends(t *testing.T) {
+	tech := device.MustTech("90nm")
+	// More overdrive → VT term shrinks.
+	lowVov := MirrorAccuracy(tech, 1e-6, 1e-6, 0.1)
+	highVov := MirrorAccuracy(tech, 1e-6, 1e-6, 0.4)
+	if highVov >= lowVov {
+		t.Errorf("overdrive should improve accuracy: %g >= %g", highVov, lowVov)
+	}
+	// Bigger devices → better.
+	small := MirrorAccuracy(tech, 1e-6, 0.1e-6, 0.2)
+	big := MirrorAccuracy(tech, 4e-6, 0.4e-6, 0.2)
+	if big >= small {
+		t.Errorf("area should improve accuracy: %g >= %g", big, small)
+	}
+}
+
+func TestSizeMirrorForAccuracyRoundTrip(t *testing.T) {
+	tech := device.MustTech("65nm")
+	const target, vov = 0.01, 0.2
+	area, err := SizeMirrorForAccuracy(tech, target, vov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := math.Sqrt(area)
+	if got := MirrorAccuracy(tech, w, w, vov); !mathx.ApproxEqual(got, target, 1e-9, 0) {
+		t.Errorf("round trip accuracy %g, want %g", got, target)
+	}
+	if _, err := SizeMirrorForAccuracy(tech, 0, vov); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := SizeMirrorForAccuracy(tech, 0.01, 0); err == nil {
+		t.Error("zero overdrive accepted")
+	}
+}
+
+func TestSampleMismatchWithLERWiderSigma(t *testing.T) {
+	tech := device.MustTech("45nm")
+	w, l := 0.2e-6, 45e-9
+	var plain, withLER mathx.Running
+	r1 := mathx.NewRNG(1)
+	r2 := mathx.NewRNG(2)
+	for i := 0; i < 50000; i++ {
+		plain.Add(SampleMismatch(tech, w, l, r1).DeltaVT0)
+		withLER.Add(SampleMismatchWithLER(tech, w, l, r2).DeltaVT0)
+	}
+	if withLER.StdDev() <= plain.StdDev() {
+		t.Errorf("LER should widen the distribution: %g <= %g", withLER.StdDev(), plain.StdDev())
+	}
+	// Quadrature check.
+	want := math.Sqrt(math.Pow(tech.SigmaVT(w, l, 0), 2)+math.Pow(LERSigmaVT(tech, w), 2)) / math.Sqrt2
+	if !mathx.ApproxEqual(withLER.StdDev(), want, 0.03, 0) {
+		t.Errorf("σ with LER = %g, want %g", withLER.StdDev(), want)
+	}
+}
