@@ -1,0 +1,36 @@
+# Build/test/benchmark entry points. `make ci` is the gate every change
+# must pass: vet, build, the full test suite under the race detector, and
+# a one-shot benchmark smoke pass proving the harness still runs.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench bench-solver
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches harness rot without the cost
+# of a full measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Full measurement run of every benchmark with allocation stats.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# The solver hot-path microbenchmarks behind BENCH_1.json / the README
+# "Performance" section.
+bench-solver:
+	$(GO) test -run '^$$' -bench 'BenchmarkOperatingPoint$$|BenchmarkOperatingPointCold$$|BenchmarkTransientStep$$' -benchmem -benchtime=2s .
+	$(GO) test -run '^$$' -bench 'FactorSolve' -benchmem ./internal/linalg/

@@ -1,0 +1,81 @@
+package repro
+
+// Solver hot-path microbenchmarks. Unlike the figure benchmarks in
+// bench_test.go (which regenerate whole paper artefacts), these isolate the
+// per-solve constant that every Monte-Carlo trial, corner run and aging
+// checkpoint pays: one operating point, one transient step, one
+// factor+solve. Run with:
+//
+//	go test -run '^$' -bench 'OperatingPoint|TransientStep' -benchmem
+//
+// The before/after numbers for the workspace refactor are recorded in
+// BENCH_1.json and README.md.
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/emc"
+)
+
+// BenchmarkOperatingPoint solves the Fig. 3 current-reference testbench
+// operating point repeatedly on one circuit, the access pattern of the
+// yield and aging studies (mutate device state, re-solve, measure).
+func BenchmarkOperatingPoint(b *testing.B) {
+	tech := device.MustTech("180nm")
+	cr := emc.BuildCurrentReference(tech, true)
+	c := cr.Circuit
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.OperatingPoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOperatingPointCold measures the same solve on a freshly built
+// circuit every iteration — no warm start possible, so this isolates the
+// ladder + per-iteration stamping/factorisation cost.
+func BenchmarkOperatingPointCold(b *testing.B) {
+	tech := device.MustTech("180nm")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := emc.BuildCurrentReference(tech, true).Circuit
+		if _, err := c.OperatingPoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransientStep measures the per-timestep cost of a fixed-step
+// transient on the Fig. 3 testbench with an EMI sine injected, the inner
+// loop of every rectification/immunity sweep. The reported time is for
+// transientStepsPerOp steps plus one initial operating point.
+const transientStepsPerOp = 64
+
+func BenchmarkTransientStep(b *testing.B) {
+	tech := device.MustTech("180nm")
+	cr := emc.BuildCurrentReference(tech, true)
+	v, err := cr.Circuit.VSourceByName(cr.InjectName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v.W = circuit.Sine{Ampl: 0.2, Freq: 10e6}
+	const step = 1e-9
+	spec := circuit.TranSpec{
+		Stop: transientStepsPerOp * step, Step: step,
+		Integrator: circuit.Trapezoidal, Record: []string{cr.OutNode},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cr.Circuit.Transient(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/transientStepsPerOp, "ns/step")
+}

@@ -38,13 +38,19 @@ func (c *Circuit) AC(freqs []float64) ([]ACPoint, error) {
 	}
 	n := c.NumUnknowns()
 	out := make([]ACPoint, 0, len(freqs))
+	// One complex system, reused across the whole sweep: zeroed and
+	// re-stamped per frequency, factored and solved in place.
+	m := linalg.NewCMatrix(n, n)
+	rhs := make([]complex128, n)
 	for _, f := range freqs {
 		if f <= 0 {
 			return nil, fmt.Errorf("circuit: non-positive AC frequency %g", f)
 		}
 		omega := 2 * math.Pi * f
-		m := linalg.NewCMatrix(n, n)
-		rhs := make([]complex128, n)
+		m.Zero()
+		for i := range rhs {
+			rhs[i] = 0
+		}
 		for _, e := range c.elements {
 			as, ok := e.(acStamper)
 			if !ok {
@@ -52,13 +58,12 @@ func (c *Circuit) AC(freqs []float64) ([]ACPoint, error) {
 			}
 			as.stampAC(m, rhs, omega, sol.X)
 		}
-		x, err := linalg.CSolve(m, rhs)
-		if err != nil {
+		if err := linalg.CSolveInPlace(m, rhs); err != nil {
 			return nil, fmt.Errorf("circuit: AC solve at %g Hz: %w", f, err)
 		}
 		pt := ACPoint{Freq: f, V: make(map[string]complex128, len(c.nodeNames))}
 		for i, name := range c.nodeNames {
-			pt.V[name] = x[i]
+			pt.V[name] = rhs[i]
 		}
 		out = append(out, pt)
 	}

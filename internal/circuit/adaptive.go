@@ -4,8 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-
-	"repro/internal/linalg"
 )
 
 // AdaptiveSpec configures a variable-step transient analysis with local
@@ -82,10 +80,8 @@ func (c *Circuit) TransientAdaptive(spec AdaptiveSpec) (*Waveforms, error) {
 	}
 	sample(0, x)
 
-	a := linalg.NewMatrix(n, n)
 	st := &stamp{
-		A: a, Rhs: make([]float64, n), X: x,
-		Mode: modeTran, Intg: spec.Integrator, SrcScale: 1,
+		X: x, Mode: modeTran, Intg: spec.Integrator, SrcScale: 1,
 	}
 	cfg := defaultOPConfig()
 	cfg.maxIter = 100

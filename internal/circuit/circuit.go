@@ -26,6 +26,9 @@ type Circuit struct {
 	elements  []element
 	byName    map[string]element
 	branches  int
+	// slv is the lazily built reusable solve context (matrices, scratch
+	// vectors, warm-start state); see solver.go.
+	slv *solver
 }
 
 // New returns an empty circuit.
@@ -127,7 +130,7 @@ func (c *Circuit) AddInductor(name, a, b string, h float64) {
 func (c *Circuit) AddVSource(name, p, n string, w Waveform) *VSource {
 	v := &VSource{nm: name, p: c.Node(p), n: c.Node(n), W: w}
 	c.addElement(v)
-	v.branch = -2 // assigned lazily at matrix build; see prepare
+	v.branch = -2 // unassigned until prepare runs at the next solve
 	return v
 }
 
@@ -228,9 +231,13 @@ func (c *Circuit) MOSFETs() []*MOSFET {
 	return out
 }
 
-// prepare assigns branch indices to branch elements. Safe to call multiple
-// times; assignment happens once.
+// prepare assigns branch indices to branch elements. Branch unknowns live
+// after the node unknowns, so the assignment is redone from scratch on
+// every call: element order is fixed, which keeps indices stable between
+// solves, while nodes added since the last solve shift the branch block up
+// instead of colliding with it.
 func (c *Circuit) prepare() {
+	c.branches = 0
 	for _, e := range c.elements {
 		if be, ok := e.(branchElement); ok {
 			be.assignBranch(c)

@@ -48,6 +48,15 @@ type stamp struct {
 	SrcScale float64
 }
 
+// zeroSystem clears the stamped system (matrix and right-hand side) in
+// place — the single reset point shared by the DC and transient solvers.
+func (s *stamp) zeroSystem() {
+	s.A.Zero()
+	for i := range s.Rhs {
+		s.Rhs[i] = 0
+	}
+}
+
 // v returns the iterate voltage at node index i (0 for ground).
 func (s *stamp) v(i int) float64 {
 	if i < 0 {
@@ -219,9 +228,7 @@ type inductor struct {
 func (l *inductor) name() string     { return l.nm }
 func (l *inductor) branchIndex() int { return l.branch }
 func (l *inductor) assignBranch(c *Circuit) {
-	if l.branch == -2 { // sentinel: not yet assigned
-		l.branch = c.newBranch()
-	}
+	l.branch = c.newBranch()
 }
 
 func (l *inductor) stampInto(s *stamp) {
@@ -291,9 +298,7 @@ type VSource struct {
 func (v *VSource) name() string     { return v.nm }
 func (v *VSource) branchIndex() int { return v.branch }
 func (v *VSource) assignBranch(c *Circuit) {
-	if v.branch == -2 {
-		v.branch = c.newBranch()
-	}
+	v.branch = c.newBranch()
 }
 
 func (v *VSource) stampInto(s *stamp) {
@@ -404,9 +409,7 @@ type vcvs struct {
 func (e *vcvs) name() string     { return e.nm }
 func (e *vcvs) branchIndex() int { return e.branch }
 func (e *vcvs) assignBranch(c *Circuit) {
-	if e.branch == -2 {
-		e.branch = c.newBranch()
-	}
+	e.branch = c.newBranch()
 }
 
 func (e *vcvs) stampInto(s *stamp) {
@@ -445,6 +448,9 @@ type diodeElem struct {
 }
 
 func (d *diodeElem) name() string { return d.nm }
+
+// nonlinear marks the diode's stamps as iterate-dependent; see solver.go.
+func (d *diodeElem) nonlinear() {}
 
 func (d *diodeElem) stampInto(s *stamp) {
 	v := s.v(d.a) - s.v(d.k)

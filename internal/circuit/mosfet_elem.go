@@ -37,6 +37,9 @@ func (m *MOSFET) Name() string { return m.nm }
 
 func (m *MOSFET) name() string { return m.nm }
 
+// nonlinear marks the MOSFET's stamps as iterate-dependent; see solver.go.
+func (m *MOSFET) nonlinear() {}
+
 // OP returns the operating point captured at the last converged solution.
 func (m *MOSFET) OP() device.OperatingPoint { return m.lastOP }
 

@@ -4,8 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-
-	"repro/internal/linalg"
 )
 
 // ErrNoConvergence is returned when Newton iteration fails even after gmin
@@ -58,9 +56,11 @@ func defaultOPConfig() opConfig {
 	return opConfig{maxIter: 300, tolV: 1e-9, damping: 0.5}
 }
 
-// OperatingPoint solves the nonlinear DC system. It tries plain Newton
-// first, then gmin stepping, then source stepping; this three-stage ladder
-// mirrors production SPICE behaviour.
+// OperatingPoint solves the nonlinear DC system. It tries Newton from the
+// circuit's last converged solution (when one exists), then plain Newton
+// from zero, then gmin stepping, then source stepping; the cold three-stage
+// ladder mirrors production SPICE behaviour and is the unconditional
+// fallback whenever a warm start fails to converge.
 func (c *Circuit) OperatingPoint() (*Solution, error) {
 	c.prepare()
 	n := c.NumUnknowns()
@@ -68,17 +68,29 @@ func (c *Circuit) OperatingPoint() (*Solution, error) {
 		return nil, errors.New("circuit: empty circuit")
 	}
 	cfg := defaultOPConfig()
+	slv := c.solver()
+	x := slv.x
+
+	// Stage 0: warm start. Aging checkpoints, EMC re-measurements and
+	// Monte-Carlo re-solves perturb the circuit only slightly between
+	// OperatingPoint calls, so the previous solution usually converges in a
+	// couple of iterations.
+	if slv.haveLast {
+		copy(x, slv.lastX)
+		if err := c.newtonDC(x, 0, 1, cfg); err == nil {
+			return c.finishDC(slv, x), nil
+		}
+	}
 
 	// Stage 1: plain Newton from a zero start.
-	x := make([]float64, n)
+	zeroVec(x)
 	if err := c.newtonDC(x, 0, 1, cfg); err == nil {
-		c.captureAll(x)
-		return &Solution{circ: c, X: x}, nil
+		return c.finishDC(slv, x), nil
 	}
 
 	// Stage 2: gmin stepping. Start with a heavy leak to ground and relax
 	// it decade by decade, warm-starting each solve.
-	x = make([]float64, n)
+	zeroVec(x)
 	ok := true
 	for _, gmin := range []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 0} {
 		if err := c.newtonDC(x, gmin, 1, cfg); err != nil {
@@ -87,19 +99,26 @@ func (c *Circuit) OperatingPoint() (*Solution, error) {
 		}
 	}
 	if ok {
-		c.captureAll(x)
-		return &Solution{circ: c, X: x}, nil
+		return c.finishDC(slv, x), nil
 	}
 
 	// Stage 3: source stepping — ramp all independent sources from 0.
-	x = make([]float64, n)
+	zeroVec(x)
 	for _, scale := range []float64{0.02, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0} {
 		if err := c.newtonDC(x, 0, scale, cfg); err != nil {
 			return nil, fmt.Errorf("%w (source stepping failed at scale %g: %v)", ErrNoConvergence, scale, err)
 		}
 	}
+	return c.finishDC(slv, x), nil
+}
+
+// finishDC captures device operating points, refreshes the warm-start
+// state and returns a Solution backed by its own copy of x (the solver's
+// scratch vector is reused by the next solve).
+func (c *Circuit) finishDC(slv *solver, x []float64) *Solution {
 	c.captureAll(x)
-	return &Solution{circ: c, X: x}, nil
+	slv.noteConverged(x)
+	return &Solution{circ: c, X: append([]float64(nil), x...)}
 }
 
 // captureAll records operating points on MOSFET elements.
@@ -112,26 +131,22 @@ func (c *Circuit) captureAll(x []float64) {
 }
 
 // newtonDC iterates the DC system in place from the initial guess in x.
+// After the first call on a circuit it performs zero heap allocations per
+// iteration: the linear elements are stamped once into the solver baseline,
+// each iteration replays the baseline by copy, stamps only the nonlinear
+// elements, and factors and solves inside the reusable workspace.
 func (c *Circuit) newtonDC(x []float64, gmin, srcScale float64, cfg opConfig) error {
-	n := len(x)
-	a := linalg.NewMatrix(n, n)
-	st := &stamp{
-		A: a, Rhs: make([]float64, n), X: x,
-		Mode: modeDC, Gmin: gmin, SrcScale: srcScale,
-	}
+	slv := c.solver()
+	st := &slv.st
+	*st = stamp{X: x, Mode: modeDC, Gmin: gmin, SrcScale: srcScale}
+	c.stampBaseline(slv, st)
 	for iter := 0; iter < cfg.maxIter; iter++ {
-		a.Zero()
-		for i := range st.Rhs {
-			st.Rhs[i] = 0
-		}
-		for _, e := range c.elements {
-			e.stampInto(st)
-		}
-		f, err := linalg.Factor(a)
-		if err != nil {
+		c.stampIteration(slv, st)
+		if err := slv.ws.Factor(); err != nil {
 			return fmt.Errorf("circuit: singular MNA matrix: %w", err)
 		}
-		xNew := f.Solve(st.Rhs)
+		slv.ws.Solve()
+		xNew := slv.ws.X
 		// Damped update: limit the largest voltage change per iteration to
 		// keep the exponential models inside representable range.
 		maxStep := 0.0
@@ -212,7 +227,10 @@ func (c *Circuit) DCSweep(sourceName string, values []float64) ([]*Solution, err
 		// Warm start from the previous point.
 		xi := append([]float64(nil), x...)
 		if err := c.newtonDC(xi, 0, 1, cfg); err != nil {
-			// Fall back to the full ladder.
+			// Fall back to the full ladder; drop the stale warm-start state
+			// first so OperatingPoint does not retry the guess that just
+			// failed.
+			c.ResetSolverState()
 			sol, err2 := c.OperatingPoint()
 			if err2 != nil {
 				return nil, fmt.Errorf("circuit: sweep point %g: %w", val, err2)
@@ -220,6 +238,7 @@ func (c *Circuit) DCSweep(sourceName string, values []float64) ([]*Solution, err
 			xi = sol.X
 		}
 		c.captureAll(xi)
+		c.solver().noteConverged(xi)
 		x = xi
 		out = append(out, &Solution{circ: c, X: append([]float64(nil), xi...)})
 	}

@@ -3,8 +3,7 @@ package circuit
 import (
 	"errors"
 	"fmt"
-
-	"repro/internal/linalg"
+	"math"
 )
 
 // TranSpec configures a transient analysis.
@@ -109,10 +108,8 @@ func (c *Circuit) Transient(spec TranSpec) (*Waveforms, error) {
 	}
 	sample(0, x)
 
-	a := linalg.NewMatrix(n, n)
 	st := &stamp{
-		A: a, Rhs: make([]float64, n), X: x,
-		Mode: modeTran, Dt: spec.Step, Intg: spec.Integrator,
+		X: x, Mode: modeTran, Dt: spec.Step, Intg: spec.Integrator,
 		SrcScale: 1,
 	}
 	cfg := defaultOPConfig()
@@ -134,26 +131,26 @@ func (c *Circuit) Transient(spec TranSpec) (*Waveforms, error) {
 	return wf, nil
 }
 
-// newtonTran converges one transient step in place in st.X.
+// newtonTran converges one transient step in place in st.X. Like newtonDC
+// it is allocation-free in steady state: the linear companion stamps are
+// rebuilt once per timestep (their equivalent sources depend on the
+// committed state), and each Newton iteration replays them by copy before
+// stamping the nonlinear devices.
 func (c *Circuit) newtonTran(st *stamp, cfg opConfig) error {
+	slv := c.solver()
+	c.stampBaseline(slv, st)
 	for iter := 0; iter < cfg.maxIter; iter++ {
-		st.A.Zero()
-		for i := range st.Rhs {
-			st.Rhs[i] = 0
-		}
-		for _, e := range c.elements {
-			e.stampInto(st)
-		}
-		f, err := linalg.Factor(st.A)
-		if err != nil {
+		c.stampIteration(slv, st)
+		if err := slv.ws.Factor(); err != nil {
 			return fmt.Errorf("circuit: singular transient matrix: %w", err)
 		}
-		xNew := f.Solve(st.Rhs)
+		slv.ws.Solve()
+		xNew := slv.ws.X
 		var delta float64
 		for i := range st.X {
 			d := xNew[i] - st.X[i]
 			st.X[i] = xNew[i]
-			if ad := abs(d); ad > delta {
+			if ad := math.Abs(d); ad > delta {
 				delta = ad
 			}
 		}
@@ -165,11 +162,4 @@ func (c *Circuit) newtonTran(st *stamp, cfg opConfig) error {
 		}
 	}
 	return ErrNoConvergence
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

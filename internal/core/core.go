@@ -150,6 +150,19 @@ func (s *Simulator) Run(nTrials int, mission Mission) (*Result, error) {
 	outs := make([]trialOut, nTrials)
 	root := mathx.NewRNG(s.Seed)
 
+	// Solve the nominal build once and hand its solution to every trial as
+	// a warm start: mismatch and corners only perturb the bias point, so
+	// each trial's first Newton solve starts next to its answer instead of
+	// climbing the cold homotopy ladder. The guess is read-only and shared;
+	// trials that diverge from it fall back to the cold ladder inside
+	// OperatingPoint, so this is purely a performance hint.
+	var guess []float64
+	if c0, err := s.Build(); err == nil {
+		if sol, err := c0.OperatingPoint(); err == nil {
+			guess = sol.X
+		}
+	}
+
 	workers := runtime.GOMAXPROCS(0)
 	if workers > nTrials {
 		workers = nTrials
@@ -161,7 +174,7 @@ func (s *Simulator) Run(nTrials int, mission Mission) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				outs[i] = s.runTrial(root.Split(uint64(i)), times, mission)
+				outs[i] = s.runTrial(root.Split(uint64(i)), times, mission, guess)
 			}
 		}()
 	}
@@ -225,8 +238,10 @@ func (s *Simulator) Run(nTrials int, mission Mission) (*Result, error) {
 	return res, nil
 }
 
-// runTrial fabricates, ages and measures one die.
-func (s *Simulator) runTrial(rng *mathx.RNG, times []float64, mission Mission) (out struct {
+// runTrial fabricates, ages and measures one die. guess, when non-nil, is
+// a nominal operating-point solution used to warm-start the trial's first
+// solve.
+func (s *Simulator) runTrial(rng *mathx.RNG, times []float64, mission Mission, guess []float64) (out struct {
 	ok     bool
 	inSpec []bool
 	values [][]float64
@@ -234,6 +249,10 @@ func (s *Simulator) runTrial(rng *mathx.RNG, times []float64, mission Mission) (
 	c, err := s.Build()
 	if err != nil {
 		return
+	}
+	if guess != nil {
+		// Best effort: a stale or mis-sized guess is simply ignored.
+		_ = c.SetInitialGuess(guess)
 	}
 	corner := variation.NominalCorner()
 	if s.GlobalSigmaVT > 0 || s.GlobalSigmaBeta > 0 {

@@ -1,0 +1,63 @@
+package linalg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchSystem builds a well-conditioned diagonally dominant n×n system
+// resembling an MNA conductance matrix.
+func benchSystem(n int) (*Matrix, []float64) {
+	a := NewMatrix(n, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				a.Set(i, j, 4+float64(i%7))
+			} else {
+				a.Set(i, j, 1/float64(1+i+j))
+			}
+		}
+		b[i] = float64(i%5) - 2
+	}
+	return a, b
+}
+
+// BenchmarkFactorSolve measures the allocating Factor+Solve path at MNA-
+// typical sizes.
+func BenchmarkFactorSolve(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a, rhs := benchSystem(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := Factor(a)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = f.Solve(rhs)
+			}
+		})
+	}
+}
+
+// BenchmarkFactorSolveWorkspace measures the same systems through the
+// reusable, allocation-free Workspace pipeline.
+func BenchmarkFactorSolveWorkspace(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a, rhs := benchSystem(n)
+			w := NewWorkspace(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(w.A.Data, a.Data)
+				copy(w.B, rhs)
+				if err := w.FactorSolve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

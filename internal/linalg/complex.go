@@ -41,15 +41,27 @@ func (m *CMatrix) Zero() {
 // CSolve solves the complex system A·x = b with partial-pivoting Gaussian
 // elimination. a and b are not modified.
 func CSolve(a *CMatrix, b []complex128) ([]complex128, error) {
-	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("linalg: CSolve needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	ac := &CMatrix{Rows: a.Rows, Cols: a.Cols, Data: append([]complex128(nil), a.Data...)}
+	x := append([]complex128(nil), b...)
+	if err := CSolveInPlace(ac, x); err != nil {
+		return nil, err
 	}
-	if len(b) != a.Rows {
-		return nil, fmt.Errorf("linalg: CSolve dimension mismatch %d vs %d", len(b), a.Rows)
+	return x, nil
+}
+
+// CSolveInPlace solves A·x = b without allocating: a is overwritten with
+// factorisation intermediates and bx is overwritten with the solution. The
+// AC sweep uses it to reuse one complex system across frequency points.
+func CSolveInPlace(a *CMatrix, bx []complex128) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("linalg: CSolve needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(bx) != a.Rows {
+		return fmt.Errorf("linalg: CSolve dimension mismatch %d vs %d", len(bx), a.Rows)
 	}
 	n := a.Rows
-	lu := append([]complex128(nil), a.Data...)
-	x := append([]complex128(nil), b...)
+	lu := a.Data
+	x := bx
 	for k := 0; k < n; k++ {
 		p := k
 		maxAbs := cmplx.Abs(lu[k*n+k])
@@ -60,7 +72,7 @@ func CSolve(a *CMatrix, b []complex128) ([]complex128, error) {
 			}
 		}
 		if maxAbs == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
@@ -88,5 +100,5 @@ func CSolve(a *CMatrix, b []complex128) ([]complex128, error) {
 		}
 		x[i] = s / lu[i*n+i]
 	}
-	return x, nil
+	return nil
 }

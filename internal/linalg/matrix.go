@@ -85,7 +85,9 @@ func (m *Matrix) String() string {
 }
 
 // LU is a partial-pivoting LU factorisation P·A = L·U of a square matrix,
-// reusable for multiple right-hand sides.
+// reusable for multiple right-hand sides. The zero value is ready to use
+// with FactorInto, which reuses the internal storage across calls — the
+// allocation-free path the circuit solver workspaces rely on.
 type LU struct {
 	n     int
 	lu    []float64
@@ -96,11 +98,32 @@ type LU struct {
 // Factor computes the LU factorisation of square matrix a. The input is not
 // modified. It returns ErrSingular when a pivot underflows.
 func Factor(a *Matrix) (*LU, error) {
+	f := &LU{}
+	if err := f.FactorInto(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorInto computes the LU factorisation of square matrix a into f,
+// reusing f's internal buffers when the capacity suffices (it allocates
+// only when f has never factored a matrix this large). The input is not
+// modified. It returns ErrSingular when a pivot underflows; the
+// factorisation is unusable after any error.
+func (f *LU) FactorInto(a *Matrix) error {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("linalg: Factor needs a square matrix, got %dx%d", a.Rows, a.Cols)
+		return fmt.Errorf("linalg: Factor needs a square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	n := a.Rows
-	f := &LU{n: n, lu: append([]float64(nil), a.Data...), pivot: make([]int, n), signs: 1}
+	f.n = n
+	f.signs = 1
+	if cap(f.lu) < n*n {
+		f.lu = make([]float64, n*n)
+		f.pivot = make([]int, n)
+	}
+	f.lu = f.lu[:n*n]
+	f.pivot = f.pivot[:n]
+	copy(f.lu, a.Data)
 	lu := f.lu
 	for i := range f.pivot {
 		f.pivot[i] = i
@@ -116,7 +139,7 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 		if maxAbs == 0 || math.IsNaN(maxAbs) {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			rowK := lu[k*n : (k+1)*n]
@@ -141,16 +164,24 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // Solve returns x with A·x = b. b is not modified.
 func (f *LU) Solve(b []float64) []float64 {
-	if len(b) != f.n {
-		panic(fmt.Sprintf("linalg: Solve dimension mismatch %d vs %d", len(b), f.n))
+	x := make([]float64, f.n)
+	f.SolveInto(x, b)
+	return x
+}
+
+// SolveInto solves A·x = b into the caller-provided x without allocating.
+// x and b must both have length n and must not alias each other; b is not
+// modified.
+func (f *LU) SolveInto(x, b []float64) {
+	if len(b) != f.n || len(x) != f.n {
+		panic(fmt.Sprintf("linalg: SolveInto dimension mismatch x=%d b=%d vs %d", len(x), len(b), f.n))
 	}
 	n := f.n
-	x := make([]float64, n)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.pivot[i]]
 	}
@@ -171,7 +202,6 @@ func (f *LU) Solve(b []float64) []float64 {
 		}
 		x[i] = s / f.lu[i*n+i]
 	}
-	return x
 }
 
 // Det returns the determinant from the factorisation.

@@ -17,8 +17,15 @@ type Trial func(rng *mathx.RNG, i int) (float64, error)
 // MCResult is the outcome of a Monte-Carlo run. Values holds the metric of
 // every successful trial in trial order (failed trials are skipped).
 type MCResult struct {
-	Values   []float64
+	Values []float64
+	// Failures counts trials that returned an error — the simulator could
+	// not produce a result at all (non-convergence, bad topology).
 	Failures int
+	// NaNs counts trials that returned NaN without an error — the
+	// simulation ran but the metric was undefined. Distinguishing the two
+	// matters for yield accounting: a NaN die is a measured reject, an
+	// errored trial is missing data.
+	NaNs int
 	// N is the requested trial count.
 	N int
 }
@@ -44,6 +51,7 @@ func MonteCarlo(n int, seed uint64, trial Trial) (*MCResult, error) {
 	type slot struct {
 		value float64
 		ok    bool
+		nan   bool
 	}
 	slots := make([]slot, n)
 	workers := runtime.GOMAXPROCS(0)
@@ -59,7 +67,12 @@ func MonteCarlo(n int, seed uint64, trial Trial) (*MCResult, error) {
 			for i := range next {
 				rng := root.Split(uint64(i))
 				v, err := trial(rng, i)
-				if err == nil && !math.IsNaN(v) {
+				switch {
+				case err != nil:
+					// leave the slot marked failed
+				case math.IsNaN(v):
+					slots[i] = slot{nan: true}
+				default:
 					slots[i] = slot{value: v, ok: true}
 				}
 			}
@@ -73,9 +86,12 @@ func MonteCarlo(n int, seed uint64, trial Trial) (*MCResult, error) {
 
 	res := &MCResult{N: n, Values: make([]float64, 0, n)}
 	for _, s := range slots {
-		if s.ok {
+		switch {
+		case s.ok:
 			res.Values = append(res.Values, s.value)
-		} else {
+		case s.nan:
+			res.NaNs++
+		default:
 			res.Failures++
 		}
 	}

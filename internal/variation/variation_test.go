@@ -145,6 +145,9 @@ func TestMonteCarloCountsFailures(t *testing.T) {
 	if res.Failures != 10 || len(res.Values) != 90 {
 		t.Errorf("failures = %d, values = %d", res.Failures, len(res.Values))
 	}
+	if res.NaNs != 0 {
+		t.Errorf("error trials must not count as NaNs, got %d", res.NaNs)
+	}
 }
 
 func TestMonteCarloRejectsBadN(t *testing.T) {
@@ -153,15 +156,37 @@ func TestMonteCarloRejectsBadN(t *testing.T) {
 	}
 }
 
-func TestMonteCarloNaNCountsAsFailure(t *testing.T) {
+func TestMonteCarloNaNCountedSeparately(t *testing.T) {
 	res, err := MonteCarlo(10, 1, func(rng *mathx.RNG, i int) (float64, error) {
 		return math.NaN(), nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Failures != 10 {
-		t.Errorf("NaN results should fail trials, got %d failures", res.Failures)
+	if res.NaNs != 10 || res.Failures != 0 {
+		t.Errorf("NaN results should count as NaNs, got NaNs=%d failures=%d", res.NaNs, res.Failures)
+	}
+	if len(res.Values) != 0 {
+		t.Errorf("NaN results must not enter Values, got %d", len(res.Values))
+	}
+}
+
+func TestMonteCarloMixedNaNAndErrorTrials(t *testing.T) {
+	res, err := MonteCarlo(30, 1, func(rng *mathx.RNG, i int) (float64, error) {
+		switch i % 3 {
+		case 0:
+			return 0, errors.New("solver blew up")
+		case 1:
+			return math.NaN(), nil
+		}
+		return float64(i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 10 || res.NaNs != 10 || len(res.Values) != 10 {
+		t.Errorf("failures=%d NaNs=%d values=%d, want 10/10/10",
+			res.Failures, res.NaNs, len(res.Values))
 	}
 }
 
