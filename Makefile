@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench bench-solver
+.PHONY: ci vet build test race race-fault bench-smoke bench bench-solver
 
-ci: vet build race bench-smoke
+ci: vet build race race-fault bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-isolation and cancellation paths under the race detector with a
+# higher iteration count: panicking trials, mid-run cancellation and
+# partial-result accounting in variation, core and aging.
+race-fault:
+	$(GO) test -race -count=2 -run 'Panic|Cancel|Fault|Deadline|Telemetry' ./internal/variation/ ./internal/core/ ./internal/aging/
 
 # One iteration of every benchmark: catches harness rot without the cost
 # of a full measurement run.

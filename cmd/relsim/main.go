@@ -9,21 +9,31 @@
 //	relsim -netlist ckt.sp -analysis ac -acsource VIN -fstart 1e3 -fstop 1e9 -record out
 //	relsim -netlist ckt.sp -analysis age -years 10 -temp 400 -record out
 //	relsim -netlist ckt.sp -analysis mc -trials 200 -node out -lo 0.4 -hi 0.8
+//	relsim -netlist ckt.sp -analysis mc -trials 100000 -node out -timeout 30s -progress
 //	relsim -netlist ckt.sp -analysis corners -node out
 //
 // The age analysis applies NBTI+HCI+TDDB with DC stress extracted from the
 // operating point; mc runs Monte-Carlo mismatch on all MOSFETs and reports
 // the node-voltage distribution and yield against [-lo, -hi]; corners
 // sweeps the five classic global corners (TT/SS/FF/SF/FS).
+//
+// -timeout bounds the wall clock of the mc and age analyses: on expiry
+// the completed portion of the run is reported with explicit cancelled
+// counts instead of being discarded. -progress streams completed-trial
+// counts to stderr during long mc runs.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/aging"
 	"repro/internal/circuit"
@@ -61,6 +71,8 @@ func main() {
 		lo       = flag.Float64("lo", math.Inf(-1), "mc: spec lower bound")
 		hi       = flag.Float64("hi", math.Inf(1), "mc: spec upper bound")
 		seed     = flag.Uint64("seed", 1, "mc/age: RNG seed")
+		timeout  = flag.Duration("timeout", 0, "mc/age: wall-clock budget; partial results are reported on expiry (0 = none)")
+		progress = flag.Bool("progress", false, "mc: print completed-trial progress to stderr")
 	)
 	flag.Parse()
 	if *netFile == "" {
@@ -81,6 +93,13 @@ func main() {
 
 	nodes := splitList(*record)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	switch *analysis {
 	case "op":
 		runOP(deck, nodes)
@@ -95,9 +114,9 @@ func main() {
 	case "ac":
 		runAC(deck, nodes, *acSource, *acFrom, *acTo, *acPoints)
 	case "age":
-		runAge(deck, nodes, *years, *temp, *seed)
+		runAge(ctx, deck, nodes, *years, *temp, *seed)
 	case "mc":
-		runMC(deck, *node, *trials, *lo, *hi, *seed)
+		runMC(ctx, string(text), deck, *node, *trials, *lo, *hi, *seed, *progress)
 	case "corners":
 		runCorners(deck, *node)
 	default:
@@ -245,14 +264,17 @@ func runAC(deck *netlist.Deck, nodes []string, source string, from, to float64, 
 	fmt.Print(report.CSV(headers, rows))
 }
 
-func runAge(deck *netlist.Deck, nodes []string, years, temp float64, seed uint64) {
+func runAge(ctx context.Context, deck *netlist.Deck, nodes []string, years, temp float64, seed uint64) {
 	if len(nodes) == 0 {
 		nodes = deck.Circuit.NodeNames()
 	}
 	ager := aging.NewCircuitAger(deck.Circuit, aging.DefaultModels(), temp, seed)
-	traj, err := ager.AgeTo(aging.LogCheckpoints(3600, years*year, 10))
+	traj, err := ager.AgeToCtx(ctx, aging.LogCheckpoints(3600, years*year, 10))
 	if err != nil {
-		log.Fatal(err)
+		if len(traj) == 0 || !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			log.Fatal(err)
+		}
+		log.Printf("warning: %v — reporting the partial trajectory (%d checkpoints)", err, len(traj))
 	}
 	headers := append([]string{"age"}, nodes...)
 	t := report.NewTable(fmt.Sprintf("aging trajectory (%g years @ %g K)", years, temp), headers...)
@@ -302,23 +324,61 @@ func runCorners(deck *netlist.Deck, node string) {
 	fmt.Println(t)
 }
 
-func runMC(deck *netlist.Deck, node string, trials int, lo, hi float64, seed uint64) {
+func runMC(ctx context.Context, text string, deck *netlist.Deck, node string, trials int, lo, hi float64, seed uint64, progress bool) {
 	if node == "" {
 		log.Fatal("mc needs -node")
 	}
-	res, err := variation.MonteCarlo(trials, seed, func(rng *mathx.RNG, _ int) (float64, error) {
-		variation.ApplyRandomMismatch(deck.Circuit, deck.Tech, variation.NominalCorner(), rng)
-		sol, err := deck.Circuit.OperatingPoint()
+	// Trials run in parallel, so each die parses its own circuit instead
+	// of mutating the shared deck; the nominal solution warm-starts every
+	// trial's first solve.
+	var guess []float64
+	if sol, err := deck.Circuit.OperatingPoint(); err == nil {
+		guess = sol.X
+	}
+	var done atomic.Int64
+	if progress {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					log.Printf("mc: %d/%d trials complete", done.Load(), trials)
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	res, err := variation.MonteCarloCtx(ctx, trials, seed, func(rng *mathx.RNG, _ int) (float64, error) {
+		defer done.Add(1)
+		die, err := netlist.Parse(text)
+		if err != nil {
+			return 0, err
+		}
+		if guess != nil {
+			_ = die.Circuit.SetInitialGuess(guess)
+		}
+		variation.ApplyRandomMismatch(die.Circuit, die.Tech, variation.NominalCorner(), rng)
+		sol, err := die.Circuit.OperatingPoint()
 		if err != nil {
 			return 0, err
 		}
 		return sol.Voltage(node), nil
 	})
 	if err != nil {
-		log.Fatal(err)
+		if !errors.Is(err, variation.ErrCancelled) {
+			log.Fatal(err)
+		}
+		log.Printf("warning: %v — reporting partial results", err)
 	}
-	variation.ResetMismatch(deck.Circuit)
-	fmt.Printf("V(%s) over %d dies: mean %s, σ %s\n", node, trials,
+	printMCAccounting(res)
+	if len(res.Values) == 0 {
+		log.Fatal("mc: no trial produced a value")
+	}
+	fmt.Printf("V(%s) over %d dies: mean %s, σ %s\n", node, res.Completed(),
 		report.SI(res.Mean(), "V"), report.SI(res.StdDev(), "V"))
 	loQ, hiQ := mathx.MinMax(res.Values)
 	h := mathx.NewHistogram(loQ, hiQ+1e-12, 15)
@@ -329,5 +389,21 @@ func runMC(deck *netlist.Deck, node string, trials int, lo, hi float64, seed uin
 	if !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
 		y := variation.EstimateYield(res.Values, variation.Spec{Name: node, Lo: lo, Hi: hi})
 		fmt.Printf("yield for %g <= V(%s) <= %g: %s\n", lo, node, hi, y)
+	}
+}
+
+// printMCAccounting reports the run's structured failure accounting —
+// how many dies measured, failed (by kind), returned NaN or were never
+// run — so partial and degraded runs are legible to operators.
+func printMCAccounting(res *variation.MCResult) {
+	fmt.Printf("trials: %d requested, %d completed in %s (%d ok, %d failed, %d NaN, %d cancelled)\n",
+		res.N, res.Completed(), res.Elapsed.Round(time.Millisecond),
+		len(res.Values), res.Failures, res.NaNs, res.Cancelled)
+	if res.Failures > 0 {
+		for kind, count := range res.ErrorsByKind() {
+			fmt.Printf("  %s failures: %d\n", kind, count)
+		}
+		// Show the first structured error as a debugging sample.
+		fmt.Printf("  first failure: %v\n", res.Errors[0])
 	}
 }

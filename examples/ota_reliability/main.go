@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/aging"
 	"repro/internal/analog"
@@ -44,7 +45,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("input offset over %d dies: σ = %s\n", len(res.Values), report.SI(res.StdDev(), "V"))
+	if res.Failures > 0 {
+		fmt.Printf("failure accounting: %d/%d dies failed %v\n", res.Failures, res.N, res.ErrorsByKind())
+	}
+	fmt.Printf("input offset over %d dies (%s): σ = %s\n",
+		len(res.Values), res.Elapsed.Round(time.Millisecond), report.SI(res.StdDev(), "V"))
 	lo, hi := mathx.MinMax(res.Values)
 	h := mathx.NewHistogram(lo, hi+1e-12, 12)
 	for _, v := range res.Values {

@@ -4,8 +4,11 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/aging"
 	"repro/internal/circuit"
@@ -62,7 +65,9 @@ func main() {
 	fmt.Println(t)
 
 	// Monte-Carlo yield over life: every trial fabricates a die with
-	// Pelgrom mismatch and ages it through the mission.
+	// Pelgrom mismatch and ages it through the mission. The run is bounded
+	// by a wall-clock budget — on expiry the completed trials are still
+	// reported, with the skipped remainder accounted as Cancelled.
 	sim := &core.Simulator{
 		Build: func() (*circuit.Circuit, error) {
 			dd, err := netlist.Parse(deck)
@@ -86,9 +91,14 @@ func main() {
 		}},
 		Seed: 42,
 	}
-	res, err := sim.Run(100, core.Mission{Duration: 10 * year, TempK: 350, Checkpoints: 6})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := sim.RunCtx(ctx, 100, core.Mission{Duration: 10 * year, TempK: 350, Checkpoints: 6})
 	if err != nil {
-		log.Fatalf("monte carlo: %v", err)
+		if !errors.Is(err, variation.ErrCancelled) {
+			log.Fatalf("monte carlo: %v", err)
+		}
+		log.Printf("warning: %v — reporting partial results", err)
 	}
 	yt := report.NewTable("yield over life (100 dies, ±20% vout spec)", "age", "yield")
 	for k := range res.Times {
@@ -96,4 +106,11 @@ func main() {
 	}
 	fmt.Println(yt)
 	fmt.Printf("median time to failure: %s\n", report.Years(res.MedianTTF()))
+	tel := res.Telemetry
+	fmt.Printf("run telemetry: %d/%d trials in %s, %d Newton iterations, %d errors, %d cancelled\n",
+		tel.Completed, res.Trials, tel.WallTime.Round(time.Millisecond),
+		tel.NewtonIterations, res.Errors, res.Cancelled)
+	for _, te := range res.TrialErrors {
+		fmt.Printf("  %s failure in %v\n", te.Kind(), te)
+	}
 }

@@ -1,6 +1,7 @@
 package aging
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -208,6 +209,15 @@ type Checkpoint struct {
 // all devices aged over the next interval. The returned trajectory has one
 // entry per checkpoint (including t=0).
 func (a *CircuitAger) AgeTo(checkpoints []float64) ([]Checkpoint, error) {
+	return a.AgeToCtx(context.Background(), checkpoints)
+}
+
+// AgeToCtx is AgeTo under a context: cancellation is checked before every
+// checkpoint, and a cancelled run returns the partial trajectory computed
+// so far alongside an error wrapping ctx.Err(). Devices are stepped in
+// sorted name order so a given (circuit, seed, checkpoints) ages
+// identically run-to-run.
+func (a *CircuitAger) AgeToCtx(ctx context.Context, checkpoints []float64) ([]Checkpoint, error) {
 	if len(checkpoints) == 0 {
 		return nil, fmt.Errorf("aging: no checkpoints")
 	}
@@ -216,6 +226,9 @@ func (a *CircuitAger) AgeTo(checkpoints []float64) ([]Checkpoint, error) {
 			return nil, fmt.Errorf("aging: checkpoints not increasing at %d", i)
 		}
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	traj := make([]Checkpoint, 0, len(checkpoints)+1)
 	sol, err := a.Circuit.OperatingPoint()
 	if err != nil {
@@ -223,18 +236,22 @@ func (a *CircuitAger) AgeTo(checkpoints []float64) ([]Checkpoint, error) {
 	}
 	traj = append(traj, Checkpoint{Time: 0, Solution: sol})
 
+	names := a.SortedAgerNames()
 	prev := 0.0
 	for _, t := range checkpoints {
+		if err := ctx.Err(); err != nil {
+			return traj, fmt.Errorf("aging: cancelled at t=%g: %w", prev, err)
+		}
 		stress := ExtractStressOP(a.Circuit, a.TempK)
 		dt := t - prev
-		for name, ager := range a.agers {
+		for _, name := range names {
 			s := stress[name]
 			if a.DutyOverride != nil {
 				if d, ok := a.DutyOverride[name]; ok {
 					s.Duty = d
 				}
 			}
-			ager.Step(s, dt)
+			a.agers[name].Step(s, dt)
 		}
 		prev = t
 		sol, err := a.Circuit.OperatingPoint()
@@ -249,8 +266,15 @@ func (a *CircuitAger) AgeTo(checkpoints []float64) ([]Checkpoint, error) {
 
 // LogCheckpoints returns n log-spaced aging checkpoints from tFirst to
 // tEnd — the right spacing for power-law degradation, where early decades
-// matter as much as late ones.
+// matter as much as late ones. n == 1 degenerates to the single point
+// tEnd (there is no spacing to choose); n < 1 returns nil.
 func LogCheckpoints(tFirst, tEnd float64, n int) []float64 {
+	if n < 1 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{tEnd}
+	}
 	return mathx.Logspace(tFirst, tEnd, n)
 }
 

@@ -29,7 +29,16 @@ type Circuit struct {
 	// slv is the lazily built reusable solve context (matrices, scratch
 	// vectors, warm-start state); see solver.go.
 	slv *solver
+	// newtonIters accumulates Newton iterations across every solve on
+	// this circuit — run telemetry for Monte-Carlo harnesses.
+	newtonIters int64
 }
+
+// NewtonIterations returns the cumulative number of Newton iterations
+// performed by every DC, sweep and transient solve on this circuit. It is
+// the per-trial cost metric that reliability runs aggregate into their
+// telemetry.
+func (c *Circuit) NewtonIterations() int64 { return c.newtonIters }
 
 // New returns an empty circuit.
 func New() *Circuit {

@@ -10,6 +10,13 @@ import (
 // and source-stepping homotopies.
 var ErrNoConvergence = errors.New("circuit: operating point did not converge")
 
+// ErrSingular is returned when the MNA matrix cannot be factored — a
+// structurally defective netlist (floating subcircuit, short-circuited
+// source loop) rather than a hard nonlinear solve. Both sentinels are the
+// circuit layer's contribution to the failure taxonomy that Monte-Carlo
+// harnesses classify with variation.ClassifyFailure.
+var ErrSingular = errors.New("circuit: singular MNA matrix")
+
 // Solution holds a converged DC solution: node voltages plus branch
 // currents.
 type Solution struct {
@@ -141,9 +148,10 @@ func (c *Circuit) newtonDC(x []float64, gmin, srcScale float64, cfg opConfig) er
 	*st = stamp{X: x, Mode: modeDC, Gmin: gmin, SrcScale: srcScale}
 	c.stampBaseline(slv, st)
 	for iter := 0; iter < cfg.maxIter; iter++ {
+		c.newtonIters++
 		c.stampIteration(slv, st)
 		if err := slv.ws.Factor(); err != nil {
-			return fmt.Errorf("circuit: singular MNA matrix: %w", err)
+			return fmt.Errorf("%w: %v", ErrSingular, err)
 		}
 		slv.ws.Solve()
 		xNew := slv.ws.X
@@ -169,7 +177,7 @@ func (c *Circuit) newtonDC(x []float64, gmin, srcScale float64, cfg opConfig) er
 			}
 		}
 		if anyNaN(x) {
-			return errors.New("circuit: NaN in solution")
+			return fmt.Errorf("%w: NaN in solution", ErrNoConvergence)
 		}
 		if delta < cfg.tolV && alpha == 1 {
 			return nil

@@ -1,0 +1,47 @@
+package circuit
+
+import (
+	"errors"
+	"testing"
+)
+
+// NewtonIterations must accumulate across solves: it is the cost metric
+// Monte-Carlo telemetry aggregates per trial.
+func TestNewtonIterationsAccumulate(t *testing.T) {
+	c := New()
+	c.AddVSource("V1", "in", "0", DC(1))
+	c.AddResistor("R1", "in", "out", 1e3)
+	c.AddResistor("R2", "out", "0", 1e3)
+	if got := c.NewtonIterations(); got != 0 {
+		t.Fatalf("fresh circuit reports %d iterations", got)
+	}
+	if _, err := c.OperatingPoint(); err != nil {
+		t.Fatal(err)
+	}
+	first := c.NewtonIterations()
+	if first <= 0 {
+		t.Fatal("solve recorded no Newton iterations")
+	}
+	if _, err := c.OperatingPoint(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NewtonIterations() <= first {
+		t.Errorf("counter did not accumulate: %d -> %d", first, c.NewtonIterations())
+	}
+}
+
+// A structurally singular system must surface the typed ErrSingular so
+// harnesses can classify it as a convergence-class failure.
+func TestSingularSystemReturnsTypedError(t *testing.T) {
+	c := New()
+	// Two floating nodes joined by a capacitor: no DC path to ground, so
+	// the MNA matrix is singular in DC.
+	c.AddCapacitor("C1", "a", "b", 1e-12)
+	_, err := c.OperatingPoint()
+	if err == nil {
+		t.Fatal("floating capacitor solved in DC")
+	}
+	if !errors.Is(err, ErrSingular) && !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("error %v carries neither ErrSingular nor ErrNoConvergence", err)
+	}
+}

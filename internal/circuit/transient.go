@@ -140,9 +140,10 @@ func (c *Circuit) newtonTran(st *stamp, cfg opConfig) error {
 	slv := c.solver()
 	c.stampBaseline(slv, st)
 	for iter := 0; iter < cfg.maxIter; iter++ {
+		c.newtonIters++
 		c.stampIteration(slv, st)
 		if err := slv.ws.Factor(); err != nil {
-			return fmt.Errorf("circuit: singular transient matrix: %w", err)
+			return fmt.Errorf("%w: transient: %v", ErrSingular, err)
 		}
 		slv.ws.Solve()
 		xNew := slv.ws.X

@@ -7,11 +7,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/aging"
 	"repro/internal/circuit"
@@ -46,7 +49,9 @@ type Mission struct {
 	Duty map[string]float64
 }
 
-// CheckpointTimes expands the mission into concrete times.
+// CheckpointTimes expands the mission into concrete times. A single
+// checkpoint degenerates to the mission end for both spacings — end-of-
+// life yield with no intermediate snapshots.
 func (m Mission) CheckpointTimes() []float64 {
 	if m.LinearTime {
 		return aging.LinCheckpoints(m.Duration, m.Checkpoints)
@@ -102,8 +107,36 @@ type Result struct {
 	// Trials is the requested trial count; Errors counts trials whose
 	// simulation failed outright.
 	Trials, Errors int
+	// Cancelled counts trials that never ran because the run's context
+	// was cancelled; the rest of the result then describes a partial run
+	// over Trials - Cancelled dies.
+	Cancelled int
+	// TrialErrors holds one structured record per errored trial, in
+	// trial order; len(TrialErrors) == Errors.
+	TrialErrors []*variation.TrialError
+	// Telemetry summarises run execution for operators.
+	Telemetry RunTelemetry
 	// MetricNames echoes the metric order of MetricMeans.
 	MetricNames []string
+}
+
+// RunTelemetry is the execution accounting of a reliability run — the
+// operational counters a production service exports next to the yield
+// answer itself.
+type RunTelemetry struct {
+	// Completed counts trials that ran to a verdict (succeeded or failed).
+	Completed int
+	// WallTime is the end-to-end run duration.
+	WallTime time.Duration
+	// NewtonIterations totals solver iterations across every trial —
+	// the dominant cost driver of a run.
+	NewtonIterations int64
+	// ErrorsByPhase counts structured trial failures by pipeline phase
+	// (build, mismatch, age, measure); nil when no trial failed.
+	ErrorsByPhase map[string]int
+	// ErrorsByKind counts structured trial failures by taxonomy kind
+	// (convergence, panic, cancelled, other); nil when no trial failed.
+	ErrorsByKind map[variation.FailureKind]int
 }
 
 // MedianTTF returns the median failure time (+Inf when most trials
@@ -115,8 +148,13 @@ func (r *Result) MedianTTF() float64 {
 	return r.FailureTimes[len(r.FailureTimes)/2]
 }
 
-// YieldAt returns the yield estimate nearest to time t.
+// YieldAt returns the yield estimate nearest to time t, or a zero
+// YieldEstimate when the result holds no checkpoints (every trial failed
+// or was cancelled).
 func (r *Result) YieldAt(t float64) variation.YieldEstimate {
+	if len(r.Yield) == 0 {
+		return variation.YieldEstimate{}
+	}
 	best, dist := 0, math.Inf(1)
 	for i, tt := range r.Times {
 		if d := math.Abs(tt - t); d < dist {
@@ -126,9 +164,30 @@ func (r *Result) YieldAt(t float64) variation.YieldEstimate {
 	return r.Yield[best]
 }
 
+// trialOut is the private outcome of one reliability trial.
+type trialOut struct {
+	ok        bool
+	cancelled bool        // never ran: context cancelled before dispatch
+	inSpec    []bool      // per checkpoint
+	values    [][]float64 // per checkpoint per metric
+	err       *variation.TrialError
+	newton    int64 // Newton iterations spent by this trial's circuit
+}
+
 // Run executes nTrials Monte-Carlo reliability trials. Trials run in
 // parallel but the result depends only on (Simulator.Seed, nTrials).
 func (s *Simulator) Run(nTrials int, mission Mission) (*Result, error) {
+	return s.RunCtx(context.Background(), nTrials, mission)
+}
+
+// RunCtx is Run under a context. Each trial is fault-isolated: a panic in
+// Build, mismatch sampling, aging or a Measure callback is recovered in
+// the worker and recorded as a structured TrialError instead of crashing
+// the run. When ctx is cancelled or its deadline passes, dispatch stops,
+// in-flight trials drain, and the partial Result — with accurate
+// Errors/Cancelled accounting and telemetry — is returned alongside an
+// error wrapping variation.ErrCancelled.
+func (s *Simulator) RunCtx(ctx context.Context, nTrials int, mission Mission) (*Result, error) {
 	if nTrials <= 0 {
 		return nil, fmt.Errorf("core: nTrials must be positive")
 	}
@@ -138,30 +197,17 @@ func (s *Simulator) Run(nTrials int, mission Mission) (*Result, error) {
 	if err := mission.Validate(); err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
 	times := append([]float64{0}, mission.CheckpointTimes()...)
 	nCk := len(times)
 	nMet := len(s.Metrics)
 
-	type trialOut struct {
-		ok     bool
-		inSpec []bool      // per checkpoint
-		values [][]float64 // per checkpoint per metric
-	}
 	outs := make([]trialOut, nTrials)
 	root := mathx.NewRNG(s.Seed)
-
-	// Solve the nominal build once and hand its solution to every trial as
-	// a warm start: mismatch and corners only perturb the bias point, so
-	// each trial's first Newton solve starts next to its answer instead of
-	// climbing the cold homotopy ladder. The guess is read-only and shared;
-	// trials that diverge from it fall back to the cold ladder inside
-	// OperatingPoint, so this is purely a performance hint.
-	var guess []float64
-	if c0, err := s.Build(); err == nil {
-		if sol, err := c0.OperatingPoint(); err == nil {
-			guess = sol.X
-		}
-	}
+	guess := s.nominalGuess()
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > nTrials {
@@ -174,15 +220,28 @@ func (s *Simulator) Run(nTrials int, mission Mission) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				outs[i] = s.runTrial(root.Split(uint64(i)), times, mission, guess)
+				if ctx.Err() != nil {
+					outs[i].cancelled = true
+					continue
+				}
+				outs[i] = s.runTrial(i, root.Split(uint64(i)), times, mission, guess)
 			}
 		}()
 	}
-	for i := 0; i < nTrials; i++ {
-		jobs <- i
+	sent := 0
+dispatch:
+	for ; sent < nTrials; sent++ {
+		select {
+		case jobs <- sent:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	for i := sent; i < nTrials; i++ {
+		outs[i].cancelled = true
+	}
 
 	res := &Result{Times: times, Trials: nTrials}
 	for _, m := range s.Metrics {
@@ -221,8 +280,16 @@ func (s *Simulator) Run(nTrials int, mission Mission) (*Result, error) {
 		res.MetricMeans[k] = means
 	}
 	for _, o := range outs {
-		if !o.ok {
+		res.Telemetry.NewtonIterations += o.newton
+		switch {
+		case o.cancelled:
+			res.Cancelled++
+			continue
+		case !o.ok:
 			res.Errors++
+			if o.err != nil {
+				res.TrialErrors = append(res.TrialErrors, o.err)
+			}
 			continue
 		}
 		ft := math.Inf(1)
@@ -235,31 +302,70 @@ func (s *Simulator) Run(nTrials int, mission Mission) (*Result, error) {
 		res.FailureTimes = append(res.FailureTimes, ft)
 	}
 	sort.Float64s(res.FailureTimes)
+	res.Telemetry.Completed = nTrials - res.Cancelled
+	res.Telemetry.WallTime = time.Since(start)
+	res.Telemetry.ErrorsByPhase = variation.CountByPhase(res.TrialErrors)
+	res.Telemetry.ErrorsByKind = variation.CountByKind(res.TrialErrors)
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("core: %w after %d/%d trials: %v",
+			variation.ErrCancelled, res.Telemetry.Completed, nTrials, err)
+	}
 	return res, nil
+}
+
+// nominalGuess solves the nominal build once and hands its solution to
+// every trial as a warm start: mismatch and corners only perturb the bias
+// point, so each trial's first Newton solve starts next to its answer
+// instead of climbing the cold homotopy ladder. The guess is read-only
+// and shared; trials that diverge from it fall back to the cold ladder
+// inside OperatingPoint, so this is purely a performance hint — a failing
+// or even panicking nominal build just disables it.
+func (s *Simulator) nominalGuess() (guess []float64) {
+	defer func() { _ = recover() }()
+	if c0, err := s.Build(); err == nil {
+		if sol, err := c0.OperatingPoint(); err == nil {
+			guess = sol.X
+		}
+	}
+	return
 }
 
 // runTrial fabricates, ages and measures one die. guess, when non-nil, is
 // a nominal operating-point solution used to warm-start the trial's first
-// solve.
-func (s *Simulator) runTrial(rng *mathx.RNG, times []float64, mission Mission, guess []float64) (out struct {
-	ok     bool
-	inSpec []bool
-	values [][]float64
-}) {
+// solve. A panic anywhere in the trial pipeline is recovered here and
+// converted into a structured TrialError tagged with the phase that blew
+// up, so one pathological die cannot take down the whole run.
+func (s *Simulator) runTrial(index int, rng *mathx.RNG, times []float64, mission Mission, guess []float64) (out trialOut) {
+	phase := "build"
+	var c *circuit.Circuit
+	defer func() {
+		if c != nil {
+			out.newton = c.NewtonIterations()
+		}
+		if r := recover(); r != nil {
+			out = trialOut{newton: out.newton, err: &variation.TrialError{
+				Index: index, Phase: phase,
+				Cause: &variation.PanicError{Value: r, Stack: debug.Stack()},
+			}}
+		}
+	}()
 	c, err := s.Build()
 	if err != nil {
+		out.err = &variation.TrialError{Index: index, Phase: phase, Cause: err}
 		return
 	}
 	if guess != nil {
 		// Best effort: a stale or mis-sized guess is simply ignored.
 		_ = c.SetInitialGuess(guess)
 	}
+	phase = "mismatch"
 	corner := variation.NominalCorner()
 	if s.GlobalSigmaVT > 0 || s.GlobalSigmaBeta > 0 {
 		corner = variation.SampleGlobalCorner(s.GlobalSigmaVT, s.GlobalSigmaBeta, rng.Split(0))
 	}
 	variation.ApplyRandomMismatch(c, s.Tech, corner, rng.Split(1))
 
+	phase = "age"
 	ager := aging.NewCircuitAger(c, s.Models, mission.TempK, rng.Split(2).Uint64())
 	ager.DutyOverride = mission.Duty
 
@@ -267,6 +373,7 @@ func (s *Simulator) runTrial(rng *mathx.RNG, times []float64, mission Mission, g
 	out.values = make([][]float64, len(times))
 
 	measure := func(k int) {
+		phase = "measure"
 		vals := make([]float64, len(s.Metrics))
 		pass := true
 		for m, met := range s.Metrics {
@@ -288,6 +395,7 @@ func (s *Simulator) runTrial(rng *mathx.RNG, times []float64, mission Mission, g
 	measure(0)
 	prev := 0.0
 	for k := 1; k < len(times); k++ {
+		phase = "age"
 		if _, err := c.OperatingPoint(); err != nil {
 			// Hard failure: everything from here on is out of spec.
 			for j := k; j < len(times); j++ {

@@ -1,10 +1,13 @@
 package variation
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/mathx"
 )
@@ -18,42 +21,105 @@ type Trial func(rng *mathx.RNG, i int) (float64, error)
 // every successful trial in trial order (failed trials are skipped).
 type MCResult struct {
 	Values []float64
-	// Failures counts trials that returned an error — the simulator could
-	// not produce a result at all (non-convergence, bad topology).
+	// Failures counts trials that ran but returned an error or panicked —
+	// the simulator could not produce a result at all (non-convergence,
+	// bad topology, model panic).
 	Failures int
 	// NaNs counts trials that returned NaN without an error — the
 	// simulation ran but the metric was undefined. Distinguishing the two
 	// matters for yield accounting: a NaN die is a measured reject, an
 	// errored trial is missing data.
 	NaNs int
+	// Cancelled counts trials that never ran because the run's context
+	// was cancelled. Values/Failures/NaNs then describe a partial run:
+	// Cancelled + NaNs + Failures + len(Values) == N always holds.
+	Cancelled int
+	// Errors holds one structured record per failed trial, in trial
+	// order; len(Errors) == Failures.
+	Errors []*TrialError
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
 	// N is the requested trial count.
 	N int
 }
 
-// Mean returns the sample mean of the collected values.
+// Mean returns the sample mean of the collected values (NaN when no trial
+// succeeded).
 func (r *MCResult) Mean() float64 { return mathx.Mean(r.Values) }
 
-// StdDev returns the sample standard deviation.
+// StdDev returns the sample standard deviation (NaN when no trial
+// succeeded).
 func (r *MCResult) StdDev() float64 { return mathx.StdDev(r.Values) }
 
-// Quantile returns the p-quantile of the collected values.
-func (r *MCResult) Quantile(p float64) float64 { return mathx.Quantile(r.Values, p) }
+// Quantile returns the p-quantile of the collected values, or NaN when no
+// trial succeeded — consistent with Mean/StdDev rather than panicking.
+func (r *MCResult) Quantile(p float64) float64 {
+	if len(r.Values) == 0 {
+		return math.NaN()
+	}
+	return mathx.Quantile(r.Values, p)
+}
+
+// Completed returns the number of trials that actually ran to a verdict.
+func (r *MCResult) Completed() int { return len(r.Values) + r.NaNs + r.Failures }
+
+// ErrorsByKind tallies the structured failures by taxonomy kind.
+func (r *MCResult) ErrorsByKind() map[FailureKind]int { return CountByKind(r.Errors) }
 
 // MonteCarlo runs n trials with the given seed. Trials execute in parallel
 // but every trial's RNG stream depends only on (seed, index), so results
-// are bit-identical regardless of GOMAXPROCS. Only trial errors are
-// tolerated; n <= 0 is an error.
+// are bit-identical regardless of GOMAXPROCS. Trial errors and panics are
+// tolerated and accounted (see MCResult); n <= 0 is an error.
 func MonteCarlo(n int, seed uint64, trial Trial) (*MCResult, error) {
+	return MonteCarloCtx(context.Background(), n, seed, trial)
+}
+
+// MonteCarloCtx is MonteCarlo under a context. A panicking trial is
+// recovered inside its worker and recorded as a structured *TrialError
+// instead of crashing the process. When ctx is cancelled the dispatcher
+// stops handing out work, the workers drain, and the partial result is
+// returned with accurate Failures/NaNs/Cancelled counts alongside an
+// error wrapping ErrCancelled.
+func MonteCarloCtx(ctx context.Context, n int, seed uint64, trial Trial) (*MCResult, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("variation: MonteCarlo needs n > 0, got %d", n)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
 	root := mathx.NewRNG(seed)
 	type slot struct {
 		value float64
 		ok    bool
 		nan   bool
+		done  bool
+		err   *TrialError
 	}
 	slots := make([]slot, n)
+	// runOne executes a single trial with panic isolation: a recovered
+	// panic fills the slot with a structured error and the worker moves on
+	// to the next trial.
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				slots[i] = slot{done: true, err: &TrialError{
+					Index: i, Phase: "trial",
+					Cause: &PanicError{Value: r, Stack: debug.Stack()},
+				}}
+			}
+		}()
+		rng := root.Split(uint64(i))
+		v, err := trial(rng, i)
+		switch {
+		case err != nil:
+			slots[i] = slot{done: true, err: &TrialError{Index: i, Phase: "trial", Cause: err}}
+		case math.IsNaN(v):
+			slots[i] = slot{done: true, nan: true}
+		default:
+			slots[i] = slot{done: true, value: v, ok: true}
+		}
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -65,21 +131,21 @@ func MonteCarlo(n int, seed uint64, trial Trial) (*MCResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rng := root.Split(uint64(i))
-				v, err := trial(rng, i)
-				switch {
-				case err != nil:
-					// leave the slot marked failed
-				case math.IsNaN(v):
-					slots[i] = slot{nan: true}
-				default:
-					slots[i] = slot{value: v, ok: true}
+				if ctx.Err() != nil {
+					// Cancelled after dispatch: leave the slot unrun.
+					continue
 				}
+				runOne(i)
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -91,9 +157,16 @@ func MonteCarlo(n int, seed uint64, trial Trial) (*MCResult, error) {
 			res.Values = append(res.Values, s.value)
 		case s.nan:
 			res.NaNs++
-		default:
+		case s.done:
 			res.Failures++
+			res.Errors = append(res.Errors, s.err)
+		default:
+			res.Cancelled++
 		}
+	}
+	res.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("%w after %d/%d trials: %v", ErrCancelled, res.Completed(), n, err)
 	}
 	return res, nil
 }
