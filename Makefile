@@ -1,15 +1,21 @@
 # Build/test/benchmark entry points. `make ci` is the gate every change
-# must pass: vet, build, the full test suite under the race detector, and
-# a one-shot benchmark smoke pass proving the harness still runs.
+# must pass: vet, the package-doc check, build, the full test suite under
+# the race detector, and a one-shot benchmark smoke pass proving the
+# harness still runs.
 
 GO ?= go
 
-.PHONY: ci vet build test race race-fault bench-smoke bench bench-solver
+.PHONY: ci vet doccheck build test race race-fault bench-smoke bench bench-solver
 
-ci: vet build race race-fault bench-smoke
+ci: vet doccheck build race race-fault bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Every package must open with a doc comment mapping it to its paper
+# section/equation; see cmd/doccheck.
+doccheck:
+	$(GO) run ./cmd/doccheck .
 
 build:
 	$(GO) build ./...

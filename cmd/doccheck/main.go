@@ -1,0 +1,107 @@
+// Command doccheck enforces the repository's documentation contract: every
+// package must open with a package doc comment, because the package
+// comments are where each package states which section, figure or equation
+// of the paper it implements. A package without one is a package whose
+// paper mapping has been lost.
+//
+// Usage:
+//
+//	doccheck [dir ...]
+//
+// With no arguments it walks the current directory. For every directory
+// containing non-test Go files it requires at least one file to carry a
+// doc comment on its package clause (the standard `// Package foo ...`
+// form; for main packages, a `// Command foo ...` description). Vendored
+// code, testdata and hidden directories are skipped. It prints one line
+// per violation and exits non-zero if any are found, making it a cheap
+// go-vet-style gate for `make ci`.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var bad []string
+	for _, root := range roots {
+		violations, err := check(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		bad = append(bad, violations...)
+	}
+	sort.Strings(bad)
+	for _, v := range bad {
+		fmt.Println(v)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d package(s) missing a package doc comment\n", len(bad))
+		os.Exit(1)
+	}
+}
+
+// check walks root and returns one violation line per documented-package
+// failure.
+func check(root string) ([]string, error) {
+	// dir -> package name (any non-test file's) and whether a doc was seen.
+	type pkgState struct {
+		name   string
+		hasDoc bool
+	}
+	pkgs := map[string]*pkgState{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		// PackageClauseOnly keeps the parse cheap; ParseComments retains
+		// the doc comment attached to the clause.
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		st := pkgs[dir]
+		if st == nil {
+			st = &pkgState{name: f.Name.Name}
+			pkgs[dir] = st
+		}
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			st.hasDoc = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var bad []string
+	for dir, st := range pkgs {
+		if !st.hasDoc {
+			bad = append(bad, fmt.Sprintf("%s: package %s has no package doc comment", dir, st.name))
+		}
+	}
+	return bad, nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFlagsUndocumentedPackage(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "good", "good.go"),
+		"// Package good maps to Section 1.\npackage good\n")
+	write(t, filepath.Join(root, "bad", "bad.go"),
+		"package bad\n")
+	// The doc comment may live in any file of the package.
+	write(t, filepath.Join(root, "split", "a.go"), "package split\n")
+	write(t, filepath.Join(root, "split", "doc.go"),
+		"// Package split is documented elsewhere.\npackage split\n")
+	// Test files and testdata don't count either way.
+	write(t, filepath.Join(root, "bad", "bad_test.go"),
+		"// Package bad has docs only on its tests.\npackage bad\n")
+	write(t, filepath.Join(root, "good", "testdata", "ignored.go"),
+		"package ignored\n")
+
+	bad, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 {
+		t.Fatalf("got %d violations %v, want 1", len(bad), bad)
+	}
+	if !strings.Contains(bad[0], "package bad") {
+		t.Errorf("violation %q does not name package bad", bad[0])
+	}
+}
+
+func TestCheckCleanTree(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "p", "p.go"),
+		"// Package p implements Eq. 1.\npackage p\n")
+	bad, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("clean tree reported violations: %v", bad)
+	}
+}

@@ -19,8 +19,22 @@
 //
 // -timeout bounds the wall clock of the mc and age analyses: on expiry
 // the completed portion of the run is reported with explicit cancelled
-// counts instead of being discarded. -progress streams completed-trial
-// counts to stderr during long mc runs.
+// counts instead of being discarded.
+//
+// Observability: -progress streams one instrument snapshot line per second
+// to stderr (trial count and latency quantiles, Newton iterations, aging
+// checkpoints), and -metrics-addr serves the full instrument registry over
+// HTTP while the analysis runs:
+//
+//	relsim -netlist ckt.sp -analysis mc -trials 100000 -node out -progress
+//	relsim -netlist ckt.sp -analysis mc -trials 100000 -node out -metrics-addr :9090 &
+//	curl localhost:9090/metrics        # Prometheus text format
+//	curl localhost:9090/metrics.json   # JSON snapshot
+//	curl localhost:9090/debug/vars     # expvar
+//
+// Analysis results (tables, CSV, histograms) go to stdout; every banner,
+// progress line and accounting diagnostic goes to stderr, so piped output
+// stays machine-readable.
 package main
 
 import (
@@ -30,15 +44,17 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net/http"
 	"os"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/aging"
 	"repro/internal/circuit"
+	"repro/internal/core"
 	"repro/internal/mathx"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/variation"
 )
@@ -72,13 +88,42 @@ func main() {
 		hi       = flag.Float64("hi", math.Inf(1), "mc: spec upper bound")
 		seed     = flag.Uint64("seed", 1, "mc/age: RNG seed")
 		timeout  = flag.Duration("timeout", 0, "mc/age: wall-clock budget; partial results are reported on expiry (0 = none)")
-		progress = flag.Bool("progress", false, "mc: print completed-trial progress to stderr")
+		progress = flag.Bool("progress", false, "print a per-second instrument snapshot line to stderr")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/vars on this address (e.g. :9090)")
 	)
 	flag.Parse()
 	if *netFile == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Wire the whole-stack instrumentation when anything consumes it; with
+	// neither flag set the solver keeps its nil-sink fast path.
+	if *progress || *metrics != "" {
+		reg := obs.NewRegistry()
+		core.EnableMetrics(reg)
+		if *metrics != "" {
+			go func() {
+				log.Printf("serving metrics on http://%s/metrics", *metrics)
+				if err := http.ListenAndServe(*metrics, obs.Handler(reg)); err != nil {
+					log.Printf("metrics server: %v", err)
+				}
+			}()
+		}
+		if *progress {
+			pub := obs.NewPublisher(reg, time.Second, &obs.LogSink{
+				W: os.Stderr, Prefix: "relsim: ",
+				Keys: []string{
+					"variation_trial_seconds",
+					"circuit_newton_iterations_total",
+					"circuit_op_total",
+					"aging_checkpoints_total",
+				},
+			})
+			defer pub.Stop()
+		}
+	}
+
 	text, err := os.ReadFile(*netFile)
 	if err != nil {
 		log.Fatal(err)
@@ -88,7 +133,8 @@ func main() {
 		log.Fatal(err)
 	}
 	if deck.Title != "" {
-		fmt.Printf("* %s (tech %s, %g K)\n", deck.Title, deck.Tech.Name, deck.TempK)
+		// Stderr, not stdout: piped CSV/tables must stay machine-readable.
+		fmt.Fprintf(os.Stderr, "* %s (tech %s, %g K)\n", deck.Title, deck.Tech.Name, deck.TempK)
 	}
 
 	nodes := splitList(*record)
@@ -116,7 +162,7 @@ func main() {
 	case "age":
 		runAge(ctx, deck, nodes, *years, *temp, *seed)
 	case "mc":
-		runMC(ctx, string(text), deck, *node, *trials, *lo, *hi, *seed, *progress)
+		runMC(ctx, string(text), deck, *node, *trials, *lo, *hi, *seed)
 	case "corners":
 		runCorners(deck, *node)
 	default:
@@ -324,36 +370,19 @@ func runCorners(deck *netlist.Deck, node string) {
 	fmt.Println(t)
 }
 
-func runMC(ctx context.Context, text string, deck *netlist.Deck, node string, trials int, lo, hi float64, seed uint64, progress bool) {
+func runMC(ctx context.Context, text string, deck *netlist.Deck, node string, trials int, lo, hi float64, seed uint64) {
 	if node == "" {
 		log.Fatal("mc needs -node")
 	}
 	// Trials run in parallel, so each die parses its own circuit instead
 	// of mutating the shared deck; the nominal solution warm-starts every
-	// trial's first solve.
+	// trial's first solve. Live progress comes from the obs instrumentation
+	// (-progress / -metrics-addr), not from ad-hoc counters here.
 	var guess []float64
 	if sol, err := deck.Circuit.OperatingPoint(); err == nil {
 		guess = sol.X
 	}
-	var done atomic.Int64
-	if progress {
-		stop := make(chan struct{})
-		defer close(stop)
-		go func() {
-			tick := time.NewTicker(time.Second)
-			defer tick.Stop()
-			for {
-				select {
-				case <-tick.C:
-					log.Printf("mc: %d/%d trials complete", done.Load(), trials)
-				case <-stop:
-					return
-				}
-			}
-		}()
-	}
 	res, err := variation.MonteCarloCtx(ctx, trials, seed, func(rng *mathx.RNG, _ int) (float64, error) {
-		defer done.Add(1)
 		die, err := netlist.Parse(text)
 		if err != nil {
 			return 0, err
@@ -394,16 +423,18 @@ func runMC(ctx context.Context, text string, deck *netlist.Deck, node string, tr
 
 // printMCAccounting reports the run's structured failure accounting —
 // how many dies measured, failed (by kind), returned NaN or were never
-// run — so partial and degraded runs are legible to operators.
+// run — so partial and degraded runs are legible to operators. It writes
+// to stderr: the accounting is diagnostics, and stdout may be a pipe
+// carrying the measurement results.
 func printMCAccounting(res *variation.MCResult) {
-	fmt.Printf("trials: %d requested, %d completed in %s (%d ok, %d failed, %d NaN, %d cancelled)\n",
+	fmt.Fprintf(os.Stderr, "trials: %d requested, %d completed in %s (%d ok, %d failed, %d NaN, %d cancelled)\n",
 		res.N, res.Completed(), res.Elapsed.Round(time.Millisecond),
 		len(res.Values), res.Failures, res.NaNs, res.Cancelled)
 	if res.Failures > 0 {
 		for kind, count := range res.ErrorsByKind() {
-			fmt.Printf("  %s failures: %d\n", kind, count)
+			fmt.Fprintf(os.Stderr, "  %s failures: %d\n", kind, count)
 		}
 		// Show the first structured error as a debugging sample.
-		fmt.Printf("  first failure: %v\n", res.Errors[0])
+		fmt.Fprintf(os.Stderr, "  first failure: %v\n", res.Errors[0])
 	}
 }

@@ -12,10 +12,16 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/emc"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
 func main() {
+	// The emc engine sits beside the core reliability stack, so it wires
+	// its instruments itself; the sweep summary at the end reads them back.
+	reg := obs.NewRegistry()
+	emc.SetMetrics(reg)
+
 	tech := device.MustTech("180nm")
 	cr := emc.BuildCurrentReference(tech, true)
 
@@ -70,4 +76,13 @@ func main() {
 		ft.AddRow(fmt.Sprintf("%.2f V", a), fmt.Sprintf("%d", n))
 	}
 	fmt.Println(ft)
+
+	// Sweep cost from the instrument registry: grid points measured and
+	// the latency of each rectification pair (baseline + disturbed).
+	snap := reg.Snapshot()
+	points, _ := snap.Counter("emc_sweep_points_total")
+	if h := snap.Histogram("emc_rectification_seconds"); h != nil && h.Count > 0 {
+		fmt.Printf("sweep cost (obs): %d grid points, rectification p50 %s, p99 %s\n",
+			points, report.SI(h.P50, "s"), report.SI(h.P99, "s"))
+	}
 }

@@ -11,7 +11,9 @@ import (
 
 	"repro/internal/aging"
 	"repro/internal/analog"
+	"repro/internal/core"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/variation"
 )
@@ -19,6 +21,11 @@ import (
 const year = 365.25 * 24 * 3600
 
 func main() {
+	// Whole-stack instrumentation: the same registry relsim serves over
+	// HTTP; this example prints a cost summary from it at the end.
+	reg := obs.NewRegistry()
+	core.EnableMetrics(reg)
+
 	cfg := analog.DefaultOTA()
 	o, err := analog.NewOTA(cfg)
 	if err != nil {
@@ -97,4 +104,17 @@ func main() {
 	fmt.Println("exactly the ratiometric resilience good analog design buys. What cannot")
 	fmt.Println("cancel is the differential part — the input offset doubles over life —")
 	fmt.Println("and that is where the paper's calibration and monitoring (§5) aim.")
+
+	// What the study cost, from the instrument registry.
+	snap := reg.Snapshot()
+	ops, _ := snap.Counter("circuit_op_total")
+	iters, _ := snap.Counter("circuit_newton_iterations_total")
+	steps, _ := snap.Counter("aging_steps_total")
+	fmt.Printf("\nrun cost (obs): %d operating points, %d Newton iterations, %d aging steps",
+		ops, iters, steps)
+	if h := snap.Histogram("variation_trial_seconds"); h != nil && h.Count > 0 {
+		fmt.Printf("; MC trial p50 %s, p99 %s",
+			report.SI(h.P50, "s"), report.SI(h.P99, "s"))
+	}
+	fmt.Println()
 }

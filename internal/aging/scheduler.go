@@ -9,6 +9,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/device"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 )
 
 // Stress is the per-device stress condition over one aging interval,
@@ -65,6 +66,10 @@ func (a *DeviceAger) Step(stress Stress, dt float64) device.Damage {
 	if dt < 0 {
 		panic(fmt.Sprintf("aging: negative dt %g", dt))
 	}
+	m := met.Load()
+	if m != nil {
+		m.steps.Inc()
+	}
 	a.elapsed += dt
 	isPMOS := a.dev.Params.Type == device.PMOS
 	eox := a.dev.OxideField(stress.Vgs)
@@ -76,46 +81,70 @@ func (a *DeviceAger) Step(stress Stress, dt float64) device.Damage {
 	// NBTI: negative gate bias on pMOS (flipped-space |vgs| with the gate
 	// pulled below the source). nMOS PBTI exists but is far weaker; derate.
 	if a.models.NBTI != nil {
-		factor := 1.0
-		gateStressed := false
-		if isPMOS && stress.Vgs < -0.05 {
-			gateStressed = true
-		} else if !isPMOS && stress.Vgs > 0.05 {
-			gateStressed = true
-			factor = 0.1 // PBTI derating on nMOS
+		var sp obs.Span
+		if m != nil {
+			sp = obs.StartSpan(m.nbtiSeconds)
 		}
-		if gateStressed && duty > 0 {
-			k := a.models.NBTI.prefactor(eox, stress.TempK) * factor
-			// AC correction folds the per-cycle relaxation depth into the
-			// effective prefactor (see ShiftAC).
-			if duty < 1 {
-				xi := (1 - duty) / duty
-				r := 1 / (1 + a.models.NBTI.RelaxB*math.Pow(xi, a.models.NBTI.RelaxBeta))
-				k *= a.models.NBTI.PermFrac + (1-a.models.NBTI.PermFrac)*r
-			}
-			a.nbtiShift = advancePowerLaw(a.nbtiShift, k, a.models.NBTI.N, duty*dt)
-		}
+		a.stepNBTI(stress, dt, eox, duty, isPMOS)
+		sp.End()
 	}
 
 	// HCI: saturation stress with channel current flowing. The effective
 	// lateral field follows |vds|.
 	if a.models.HCI != nil && math.Abs(stress.Vds) > 0.1 && duty > 0 {
+		var sp obs.Span
+		if m != nil {
+			sp = obs.StartSpan(m.hciSeconds)
+		}
 		em := a.dev.LateralField(stress.Vds)
 		qi := a.dev.InversionCharge(stress.Vgs)
 		k := a.models.HCI.Prefactor(qi, eox, em, stress.TempK, isPMOS)
 		a.hciShift = advancePowerLaw(a.hciShift, k, a.models.HCI.N, duty*dt)
+		sp.End()
 	}
 
 	// TDDB: the vertical field wears the oxide whenever the gate is
 	// biased; duty scales the exposure time.
 	if a.tddb != nil && duty > 0 {
+		var sp obs.Span
+		if m != nil {
+			sp = obs.StartSpan(m.tddbSeconds)
+		}
 		area := a.dev.Params.W * a.dev.Params.L
 		a.models.TDDB.Advance(a.tddb, duty*dt, eox, stress.TempK, area)
+		sp.End()
 	}
 
 	dmg := a.damage()
 	a.dev.Damage = dmg
+	if m != nil {
+		m.deltaVT.Set(dmg.DeltaVT)
+	}
 	return dmg
+}
+
+// stepNBTI advances the NBTI envelope for one interval (split out so the
+// per-mechanism timing span wraps exactly the mechanism's work).
+func (a *DeviceAger) stepNBTI(stress Stress, dt, eox, duty float64, isPMOS bool) {
+	factor := 1.0
+	gateStressed := false
+	if isPMOS && stress.Vgs < -0.05 {
+		gateStressed = true
+	} else if !isPMOS && stress.Vgs > 0.05 {
+		gateStressed = true
+		factor = 0.1 // PBTI derating on nMOS
+	}
+	if gateStressed && duty > 0 {
+		k := a.models.NBTI.prefactor(eox, stress.TempK) * factor
+		// AC correction folds the per-cycle relaxation depth into the
+		// effective prefactor (see ShiftAC).
+		if duty < 1 {
+			xi := (1 - duty) / duty
+			r := 1 / (1 + a.models.NBTI.RelaxB*math.Pow(xi, a.models.NBTI.RelaxBeta))
+			k *= a.models.NBTI.PermFrac + (1-a.models.NBTI.PermFrac)*r
+		}
+		a.nbtiShift = advancePowerLaw(a.nbtiShift, k, a.models.NBTI.N, duty*dt)
+	}
 }
 
 // damage composes the current degradation state into a device.Damage.
@@ -254,6 +283,9 @@ func (a *CircuitAger) AgeToCtx(ctx context.Context, checkpoints []float64) ([]Ch
 			a.agers[name].Step(s, dt)
 		}
 		prev = t
+		if m := met.Load(); m != nil {
+			m.checkpoints.Inc()
+		}
 		sol, err := a.Circuit.OperatingPoint()
 		if err != nil {
 			traj = append(traj, Checkpoint{Time: t, Failed: true})

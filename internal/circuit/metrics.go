@@ -1,0 +1,57 @@
+package circuit
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// pkgMetrics aggregates the solver's observability instruments across all
+// circuits in the process. Per-circuit accounting stays on the Circuit
+// (NewtonIterations); these global instruments are what an operator
+// scrapes while a fleet of trials runs.
+type pkgMetrics struct {
+	newtonIters   *obs.Counter
+	opSolves      *obs.Counter
+	opWarmHits    *obs.Counter
+	opGminFalls   *obs.Counter
+	opSourceFalls *obs.Counter
+	singulars     *obs.Counter
+	noConverge    *obs.Counter
+	opSeconds     *obs.Histogram
+}
+
+var met atomic.Pointer[pkgMetrics]
+
+// SetMetrics wires the circuit solver's instrumentation into reg, or
+// disables it when reg is nil. The Newton loop pays one atomic pointer
+// load per newtonDC call when disabled; iteration counts are added once
+// per solve (not per iteration), so enabling metrics does not perturb the
+// loop body either.
+//
+// Metrics registered:
+//
+//	circuit_newton_iterations_total  count  Newton iterations across all solves
+//	circuit_op_total                 count  OperatingPoint calls
+//	circuit_op_warm_total            count  solves converged from the warm start (stage 0)
+//	circuit_op_gmin_total            count  solves that entered the gmin ladder (stage 2)
+//	circuit_op_source_total          count  solves that entered source stepping (stage 3)
+//	circuit_singular_total           count  singular-MNA factorisation failures
+//	circuit_noconvergence_total      count  OperatingPoint calls that failed outright
+//	circuit_op_seconds               s      OperatingPoint latency histogram
+func SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		met.Store(nil)
+		return
+	}
+	met.Store(&pkgMetrics{
+		newtonIters:   reg.Counter("circuit_newton_iterations_total", "1", "Newton iterations across all solves"),
+		opSolves:      reg.Counter("circuit_op_total", "1", "OperatingPoint calls"),
+		opWarmHits:    reg.Counter("circuit_op_warm_total", "1", "operating points converged from the warm start"),
+		opGminFalls:   reg.Counter("circuit_op_gmin_total", "1", "operating points that fell back to gmin stepping"),
+		opSourceFalls: reg.Counter("circuit_op_source_total", "1", "operating points that fell back to source stepping"),
+		singulars:     reg.Counter("circuit_singular_total", "1", "singular MNA factorisation failures"),
+		noConverge:    reg.Counter("circuit_noconvergence_total", "1", "OperatingPoint failures"),
+		opSeconds:     reg.Histogram("circuit_op_seconds", "s", "OperatingPoint latency", nil),
+	})
+}

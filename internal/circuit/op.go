@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // ErrNoConvergence is returned when Newton iteration fails even after gmin
@@ -69,6 +71,23 @@ func defaultOPConfig() opConfig {
 // ladder mirrors production SPICE behaviour and is the unconditional
 // fallback whenever a warm start fails to converge.
 func (c *Circuit) OperatingPoint() (*Solution, error) {
+	m := met.Load()
+	sp := obs.Span{}
+	if m != nil {
+		sp = obs.StartSpan(m.opSeconds)
+		m.opSolves.Inc()
+	}
+	sol, err := c.operatingPoint(m)
+	sp.End()
+	if err != nil && m != nil {
+		m.noConverge.Inc()
+	}
+	return sol, err
+}
+
+// operatingPoint runs the warm-start attempt and the cold ladder; m (nil
+// when metrics are disabled) receives the per-stage fallback accounting.
+func (c *Circuit) operatingPoint(m *pkgMetrics) (*Solution, error) {
 	c.prepare()
 	n := c.NumUnknowns()
 	if n == 0 {
@@ -85,6 +104,9 @@ func (c *Circuit) OperatingPoint() (*Solution, error) {
 	if slv.haveLast {
 		copy(x, slv.lastX)
 		if err := c.newtonDC(x, 0, 1, cfg); err == nil {
+			if m != nil {
+				m.opWarmHits.Inc()
+			}
 			return c.finishDC(slv, x), nil
 		}
 	}
@@ -97,6 +119,9 @@ func (c *Circuit) OperatingPoint() (*Solution, error) {
 
 	// Stage 2: gmin stepping. Start with a heavy leak to ground and relax
 	// it decade by decade, warm-starting each solve.
+	if m != nil {
+		m.opGminFalls.Inc()
+	}
 	zeroVec(x)
 	ok := true
 	for _, gmin := range []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 0} {
@@ -110,6 +135,9 @@ func (c *Circuit) OperatingPoint() (*Solution, error) {
 	}
 
 	// Stage 3: source stepping — ramp all independent sources from 0.
+	if m != nil {
+		m.opSourceFalls.Inc()
+	}
 	zeroVec(x)
 	for _, scale := range []float64{0.02, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0} {
 		if err := c.newtonDC(x, 0, scale, cfg); err != nil {
@@ -141,8 +169,26 @@ func (c *Circuit) captureAll(x []float64) {
 // After the first call on a circuit it performs zero heap allocations per
 // iteration: the linear elements are stamped once into the solver baseline,
 // each iteration replays the baseline by copy, stamps only the nonlinear
-// elements, and factors and solves inside the reusable workspace.
+// elements, and factors and solves inside the reusable workspace. With
+// metrics enabled the iteration and singular-matrix accounting is added
+// once per call, outside the loop, so the loop body is identical either
+// way.
 func (c *Circuit) newtonDC(x []float64, gmin, srcScale float64, cfg opConfig) error {
+	m := met.Load()
+	if m == nil {
+		return c.newtonDCRun(x, gmin, srcScale, cfg)
+	}
+	before := c.newtonIters
+	err := c.newtonDCRun(x, gmin, srcScale, cfg)
+	m.newtonIters.Add(c.newtonIters - before)
+	if err != nil && errors.Is(err, ErrSingular) {
+		m.singulars.Inc()
+	}
+	return err
+}
+
+// newtonDCRun is the uninstrumented Newton loop.
+func (c *Circuit) newtonDCRun(x []float64, gmin, srcScale float64, cfg opConfig) error {
 	slv := c.solver()
 	st := &slv.st
 	*st = stamp{X: x, Mode: modeDC, Gmin: gmin, SrcScale: srcScale}

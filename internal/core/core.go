@@ -20,6 +20,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/device"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/variation"
 )
 
@@ -137,6 +138,12 @@ type RunTelemetry struct {
 	// ErrorsByKind counts structured trial failures by taxonomy kind
 	// (convergence, panic, cancelled, other); nil when no trial failed.
 	ErrorsByKind map[variation.FailureKind]int
+	// Metrics is the whole-stack obs snapshot taken as the run finished —
+	// solver, Monte-Carlo, and aging instruments in JSON-exportable form.
+	// Nil unless metrics were enabled (core.EnableMetrics / SetMetrics).
+	// The snapshot is cumulative across the process; the core_* counters
+	// move by exactly this run's Completed/Errors/Cancelled.
+	Metrics *obs.Snapshot
 }
 
 // MedianTTF returns the median failure time (+Inf when most trials
@@ -200,6 +207,10 @@ func (s *Simulator) RunCtx(ctx context.Context, nTrials int, mission Mission) (*
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	m := met.Load()
+	if m != nil {
+		m.runs.Inc()
+	}
 	start := time.Now()
 	times := append([]float64{0}, mission.CheckpointTimes()...)
 	nCk := len(times)
@@ -224,7 +235,12 @@ func (s *Simulator) RunCtx(ctx context.Context, nTrials int, mission Mission) (*
 					outs[i].cancelled = true
 					continue
 				}
+				var sp obs.Span
+				if m != nil {
+					sp = obs.StartSpan(m.trialSeconds)
+				}
 				outs[i] = s.runTrial(i, root.Split(uint64(i)), times, mission, guess)
+				sp.End()
 			}
 		}()
 	}
@@ -306,6 +322,12 @@ dispatch:
 	res.Telemetry.WallTime = time.Since(start)
 	res.Telemetry.ErrorsByPhase = variation.CountByPhase(res.TrialErrors)
 	res.Telemetry.ErrorsByKind = variation.CountByKind(res.TrialErrors)
+	if m != nil {
+		m.trialsDone.Add(int64(res.Telemetry.Completed))
+		m.trialErrors.Add(int64(res.Errors))
+		m.cancelled.Add(int64(res.Cancelled))
+		res.Telemetry.Metrics = m.reg.Snapshot()
+	}
 	if err := ctx.Err(); err != nil {
 		return res, fmt.Errorf("core: %w after %d/%d trials: %v",
 			variation.ErrCancelled, res.Telemetry.Completed, nTrials, err)

@@ -7,8 +7,10 @@
 // The MOSFET model exposes explicit degradation hooks (threshold shift,
 // mobility reduction, output-conductance change, post-breakdown gate
 // leakage) so the aging package can "wear out" a device exactly the way the
-// paper describes: NBTI and HCI shift VT and carrier mobility, TDDB adds a
-// gate-leakage path and a local mobility collapse.
+// paper's Section 3 describes: NBTI (§3.3) and HCI (§3.2) shift VT and
+// carrier mobility, TDDB (§3.1) adds a gate-leakage path and a local
+// mobility collapse. The technology cards carry the per-node Pelgrom AVT
+// coefficients behind Section 2's Fig. 1 trend.
 package device
 
 import (

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // boltzmannEV is k in eV/K.
@@ -179,6 +181,12 @@ func (r *Report) Pass() bool { return len(r.Violations) == 0 }
 
 // Check runs EM sign-off over a set of wires against a lifetime target.
 func (m *BlackModel) Check(wires []*Wire, targetLife, tempK float64) *Report {
+	pm := met.Load()
+	var sp obs.Span
+	if pm != nil {
+		sp = obs.StartSpan(pm.checkSeconds)
+		defer func() { sp.End() }()
+	}
 	r := &Report{TargetLife: targetLife, TempK: tempK, WorstMTTF: math.Inf(1)}
 	for _, w := range wires {
 		r.Checked++
@@ -203,6 +211,10 @@ func (m *BlackModel) Check(wires []*Wire, targetLife, tempK float64) *Report {
 	sort.Slice(r.Violations, func(i, j int) bool {
 		return r.Violations[i].MTTF < r.Violations[j].MTTF
 	})
+	if pm != nil {
+		pm.wiresChecked.Add(int64(r.Checked))
+		pm.violations.Add(int64(len(r.Violations)))
+	}
 	return r
 }
 

@@ -1,0 +1,38 @@
+package em
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// pkgMetrics holds the electromigration checker's instruments — the EM
+// side of the per-mechanism accounting (Eq. 4), next to the ΔVT mechanisms
+// instrumented in internal/aging.
+type pkgMetrics struct {
+	wiresChecked *obs.Counter
+	violations   *obs.Counter
+	checkSeconds *obs.Histogram
+}
+
+var met atomic.Pointer[pkgMetrics]
+
+// SetMetrics wires the EM sign-off instrumentation into reg, or disables
+// it when reg is nil.
+//
+// Metrics registered:
+//
+//	em_wires_checked_total  count  wires assessed by BlackModel.Check
+//	em_violations_total     count  lifetime/Blech violations found
+//	em_check_seconds        s      per-Check latency histogram
+func SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		met.Store(nil)
+		return
+	}
+	met.Store(&pkgMetrics{
+		wiresChecked: reg.Counter("em_wires_checked_total", "1", "wires assessed by EM sign-off"),
+		violations:   reg.Counter("em_violations_total", "1", "EM sign-off violations"),
+		checkSeconds: reg.Histogram("em_check_seconds", "s", "EM sign-off Check latency", nil),
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/device"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 )
 
 // Injection describes one conducted-EMI disturbance superimposed on a
@@ -98,6 +99,11 @@ func (r Result) RelativeShift() float64 {
 // and returns the metric's baseline, disturbed value and shift. The
 // source's waveform is restored before returning.
 func MeasureRectification(c *circuit.Circuit, sourceName string, inj Injection, metric Metric, opts Options) (Result, error) {
+	if m := met.Load(); m != nil {
+		m.rectifySweeps.Inc()
+		sp := obs.StartSpan(m.rectifySecs)
+		defer func() { sp.End() }()
+	}
 	if inj.Freq <= 0 {
 		return Result{}, fmt.Errorf("emc: non-positive EMI frequency %g", inj.Freq)
 	}
@@ -185,6 +191,9 @@ func SweepEMI(c *circuit.Circuit, sourceName string, ampls, freqs []float64, met
 			}
 			out.Shift[i][j] = r.Shift
 			out.Baseline = r.Baseline
+			if m := met.Load(); m != nil {
+				m.sweepPoints.Inc()
+			}
 		}
 	}
 	return out, nil

@@ -1,0 +1,38 @@
+package emc
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// pkgMetrics holds the EMC engine's instruments. DPI-style sweeps are the
+// longest single-threaded loops in the repository (amplitude × frequency
+// grids of transient pairs), so sweep progress is the headline metric.
+type pkgMetrics struct {
+	sweepPoints   *obs.Counter
+	rectifySweeps *obs.Counter
+	rectifySecs   *obs.Histogram
+}
+
+var met atomic.Pointer[pkgMetrics]
+
+// SetMetrics wires the EMC instrumentation into reg, or disables it when
+// reg is nil.
+//
+// Metrics registered:
+//
+//	emc_sweep_points_total       count  grid points completed by SweepEMI
+//	emc_rectifications_total     count  MeasureRectification calls
+//	emc_rectification_seconds    s      per-measurement latency (baseline + disturbed transients)
+func SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		met.Store(nil)
+		return
+	}
+	met.Store(&pkgMetrics{
+		sweepPoints:   reg.Counter("emc_sweep_points_total", "1", "EMI sweep grid points completed"),
+		rectifySweeps: reg.Counter("emc_rectifications_total", "1", "rectification measurements"),
+		rectifySecs:   reg.Histogram("emc_rectification_seconds", "s", "MeasureRectification latency", nil),
+	})
+}

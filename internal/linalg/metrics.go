@@ -1,0 +1,43 @@
+package linalg
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// pkgMetrics holds the package's instruments. The whole struct is swapped
+// atomically by SetMetrics so instrumentation can be enabled mid-process
+// without racing the solver goroutines.
+type pkgMetrics struct {
+	factors       *obs.Counter
+	solves        *obs.Counter
+	factorSeconds *obs.Histogram
+	solveSeconds  *obs.Histogram
+}
+
+var met atomic.Pointer[pkgMetrics]
+
+// SetMetrics wires the package's instrumentation into reg, or disables it
+// when reg is nil. With metrics disabled the factor/solve hot path pays a
+// single atomic pointer load per call — no allocations, no clock reads —
+// which preserves the workspace pipeline's 0-alloc guarantee.
+//
+// Metrics registered:
+//
+//	linalg_factor_total          count   LU factorisations through Workspace.Factor
+//	linalg_factor_seconds        s       latency histogram of those factorisations
+//	linalg_solve_total           count   triangular solves through Workspace.Solve
+//	linalg_solve_seconds         s       latency histogram of those solves
+func SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		met.Store(nil)
+		return
+	}
+	met.Store(&pkgMetrics{
+		factors:       reg.Counter("linalg_factor_total", "1", "LU factorisations via Workspace.Factor"),
+		solves:        reg.Counter("linalg_solve_total", "1", "triangular solves via Workspace.Solve"),
+		factorSeconds: reg.Histogram("linalg_factor_seconds", "s", "Workspace.Factor latency", nil),
+		solveSeconds:  reg.Histogram("linalg_solve_seconds", "s", "Workspace.Solve latency", nil),
+	})
+}

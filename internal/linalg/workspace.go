@@ -1,5 +1,7 @@
 package linalg
 
+import "repro/internal/obs"
+
 // Workspace bundles the reusable buffers of one dense solve pipeline: a
 // system matrix A, a right-hand side B, a solution scratch X and an LU
 // factorisation. Once warmed up, repeated Factor/Solve cycles through a
@@ -52,13 +54,38 @@ func (w *Workspace) Reset(n int) {
 // Factor computes the LU factorisation of the current contents of A,
 // reusing the workspace's internal factor storage. A itself is preserved.
 func (w *Workspace) Factor() error {
+	if m := met.Load(); m != nil {
+		return w.factorMetered(m)
+	}
 	return w.lu.FactorInto(w.A)
+}
+
+// factorMetered is Factor's instrumented slow path, kept out of Factor
+// itself so the disabled path stays inlinable in the Newton loop.
+func (w *Workspace) factorMetered(m *pkgMetrics) error {
+	sp := obs.StartSpan(m.factorSeconds)
+	err := w.lu.FactorInto(w.A)
+	sp.End()
+	m.factors.Inc()
+	return err
 }
 
 // Solve writes the solution of A·x = B into X using the factorisation from
 // the last Factor call. It must follow a successful Factor.
 func (w *Workspace) Solve() {
+	if m := met.Load(); m != nil {
+		w.solveMetered(m)
+		return
+	}
 	w.lu.SolveInto(w.X, w.B)
+}
+
+// solveMetered is Solve's instrumented slow path; see factorMetered.
+func (w *Workspace) solveMetered(m *pkgMetrics) {
+	sp := obs.StartSpan(m.solveSeconds)
+	w.lu.SolveInto(w.X, w.B)
+	sp.End()
+	m.solves.Inc()
 }
 
 // FactorSolve factors A and solves A·X = B in one allocation-free call.

@@ -2,7 +2,11 @@
 // the reliability framework: a reproducible random number generator,
 // probability distributions, summary statistics, root finding and
 // interpolation. Everything is pure Go and allocation-light so Monte-Carlo
-// loops can run millions of samples on a laptop.
+// loops can run millions of samples on a laptop. In paper terms this is
+// the machinery under Section 2's statistical picture: the Gaussian
+// sampling behind Pelgrom mismatch (Eq. 1), the yield statistics, and the
+// split-stream RNG that makes every trial reproducible regardless of
+// worker scheduling.
 package mathx
 
 import "math"

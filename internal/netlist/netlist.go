@@ -20,6 +20,11 @@
 // block containing M1 and internal node mid yields element "X1.M1" on
 // node "X1.mid". Ground ("0"/gnd) is global. Engineering suffixes:
 // f p n u m k meg g t (case-insensitive).
+//
+// The netlist is the entry point for reproducing the paper's studies on
+// arbitrary circuits: cmd/relsim parses a deck and then applies the
+// Section 2 mismatch Monte Carlo, the Section 3 aging mission, or plain
+// electrical analyses to it.
 package netlist
 
 import (

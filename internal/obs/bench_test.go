@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled (nil-instrument) fast path must cost a nil check and
+// nothing else — no allocations, no clock reads. These benchmarks and the
+// AllocsPerRun regression test pin that contract; the enabled-path
+// benchmarks document the price of turning metrics on (BENCH_3.json).
+
+func BenchmarkCounterIncNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "1", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserveNil(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1e-6)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h_seconds", "s", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("h_seconds", "s", "", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(1e-5)
+		}
+	})
+}
+
+func BenchmarkSpanNil(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(h)
+		sp.End()
+	}
+}
+
+func BenchmarkSpan(b *testing.B) {
+	h := NewRegistry().Histogram("span_seconds", "s", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(h)
+		sp.End()
+	}
+}
+
+// TestInstrumentsDoNotAllocate is the allocation regression gate for the
+// instruments themselves: recording into live counters, gauges,
+// histograms and spans must be allocation-free after construction.
+func TestInstrumentsDoNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_c_total", "1", "")
+	g := r.Gauge("alloc_g", "1", "")
+	h := r.Histogram("alloc_h_seconds", "s", "", nil)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(2.5)
+		h.Observe(3e-6)
+		sp := StartSpan(h)
+		sp.End()
+	}); allocs != 0 {
+		t.Fatalf("live instruments allocated %v times per op, want 0", allocs)
+	}
+	var nc *Counter
+	var nh *Histogram
+	if allocs := testing.AllocsPerRun(1000, func() {
+		nc.Inc()
+		nh.Observe(1)
+		sp := StartSpan(nh)
+		sp.End()
+	}); allocs != 0 {
+		t.Fatalf("nil instruments allocated %v times per op, want 0", allocs)
+	}
+	_ = time.Now() // keep time imported for future span benchmarks
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+)
+
+// Handler serves a registry over HTTP:
+//
+//	GET /metrics       Prometheus text exposition format
+//	GET /metrics.json  indented JSON Snapshot
+//	GET /debug/vars    standard expvar dump (the registry is published as
+//	                   the "obs" var, next to cmdline/memstats)
+//
+// Mount it on a dedicated listener (relsim -metrics-addr does this); the
+// handlers only read, so scraping never perturbs a running analysis
+// beyond the atomic loads of a snapshot.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		b, err := reg.Snapshot().MarshalJSONIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(b)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// PublishExpvar exposes the registry under the given expvar name (once per
+// name; expvar panics on duplicates, so callers should use a fixed name at
+// startup). The value re-snapshots on every read.
+func PublishExpvar(name string, reg *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return reg.Snapshot() }))
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/mathx"
+	"repro/internal/obs"
 )
 
 // Trial is one Monte-Carlo evaluation. It receives a private, reproducible
@@ -97,11 +98,19 @@ func MonteCarloCtx(ctx context.Context, n int, seed uint64, trial Trial) (*MCRes
 		err   *TrialError
 	}
 	slots := make([]slot, n)
+	m := met.Load()
 	// runOne executes a single trial with panic isolation: a recovered
 	// panic fills the slot with a structured error and the worker moves on
-	// to the next trial.
+	// to the next trial. Per-trial latency is recorded here in the worker
+	// (panicking trials included); outcome counters are tallied once during
+	// result assembly.
 	runOne := func(i int) {
+		var sp obs.Span
+		if m != nil {
+			sp = obs.StartSpan(m.trialSeconds)
+		}
 		defer func() {
+			sp.End()
 			if r := recover(); r != nil {
 				slots[i] = slot{done: true, err: &TrialError{
 					Index: i, Phase: "trial",
@@ -165,6 +174,9 @@ dispatch:
 		}
 	}
 	res.Elapsed = time.Since(start)
+	if m != nil {
+		m.record(res)
+	}
 	if err := ctx.Err(); err != nil {
 		return res, fmt.Errorf("%w after %d/%d trials: %v", ErrCancelled, res.Completed(), n, err)
 	}
