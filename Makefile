@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet doccheck build test race race-fault bench-smoke bench bench-solver
+.PHONY: ci vet doccheck build test race race-fault race-serve bench-smoke bench bench-solver
 
-ci: vet doccheck build race race-fault bench-smoke
+ci: vet doccheck build race race-fault race-serve bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,12 @@ race:
 # partial-result accounting in variation, core and aging.
 race-fault:
 	$(GO) test -race -count=2 -run 'Panic|Cancel|Fault|Deadline|Telemetry' ./internal/variation/ ./internal/core/ ./internal/aging/
+
+# The job-server lifecycle under the race detector: submit/poll/stream,
+# exact queue backpressure, mid-job cancellation with partial-result
+# accounting, and the graceful drain.
+race-serve:
+	$(GO) test -race -count=2 ./internal/serve/ ./internal/jobspec/
 
 # One iteration of every benchmark: catches harness rot without the cost
 # of a full measurement run.

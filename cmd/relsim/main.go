@@ -1,4 +1,5 @@
-// Command relsim runs reliability analyses on a SPICE-flavoured netlist.
+// Command relsim runs reliability analyses on a SPICE-flavoured netlist —
+// one-shot from flags, or as a long-running job server.
 //
 // Usage:
 //
@@ -11,6 +12,11 @@
 //	relsim -netlist ckt.sp -analysis mc -trials 200 -node out -lo 0.4 -hi 0.8
 //	relsim -netlist ckt.sp -analysis mc -trials 100000 -node out -timeout 30s -progress
 //	relsim -netlist ckt.sp -analysis corners -node out
+//	relsim -serve :8080
+//
+// Every flag set parses into one versioned internal/jobspec.Spec, and
+// both modes execute it through the same jobspec.Execute dispatch — a
+// POSTed server job and a flag-driven run are the identical struct.
 //
 // The age analysis applies NBTI+HCI+TDDB with DC stress extracted from the
 // operating point; mc runs Monte-Carlo mismatch on all MOSFETs and reports
@@ -20,6 +26,19 @@
 // -timeout bounds the wall clock of the mc and age analyses: on expiry
 // the completed portion of the run is reported with explicit cancelled
 // counts instead of being discarded.
+//
+// Server mode: -serve :8080 starts the internal/serve job service —
+// POST /v1/jobs submits a spec, GET /v1/jobs/{id} polls it,
+// GET /v1/jobs/{id}/events streams NDJSON progress, DELETE cancels, and
+// the same listener serves /metrics, /metrics.json, /debug/vars and
+// /healthz, so no separate -metrics-addr is needed. -queue bounds the
+// job queue (excess submissions get 503 + Retry-After), -workers sizes
+// the pool, -timeout becomes the default per-job budget, and SIGINT/
+// SIGTERM trigger a graceful drain bounded by -drain in which running
+// jobs persist partial results:
+//
+//	relsim -serve :8080 -queue 64 -workers 8 -timeout 5m -drain 30s
+//	curl -s localhost:8080/v1/jobs -d '{"analysis":"mc","netlist":"...","mc":{"trials":1000,"node":"out"}}'
 //
 // Observability: -progress streams one instrument snapshot line per second
 // to stderr (trial count and latency quantiles, Newton iterations, aging
@@ -44,29 +63,24 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net"
 	"net/http"
 	"os"
 	"strings"
 	"time"
 
-	"repro/internal/aging"
-	"repro/internal/circuit"
 	"repro/internal/core"
-	"repro/internal/mathx"
+	"repro/internal/jobspec"
 	"repro/internal/netlist"
 	"repro/internal/obs"
-	"repro/internal/report"
-	"repro/internal/variation"
 )
-
-const year = 365.25 * 24 * 3600
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("relsim: ")
 	var (
-		netFile  = flag.String("netlist", "", "netlist file (required)")
-		analysis = flag.String("analysis", "op", "op | tran | sweep | age | mc")
+		netFile  = flag.String("netlist", "", "netlist file (required in one-shot mode)")
+		analysis = flag.String("analysis", "op", "op | tran | sweep | ac | age | mc | corners")
 		stop     = flag.Float64("stop", 1e-3, "tran: stop time [s]")
 		step     = flag.Float64("step", 1e-6, "tran: time step [s]")
 		adaptive = flag.Bool("adaptive", false, "tran: variable step with LTE control")
@@ -83,18 +97,83 @@ func main() {
 		acPoints = flag.Int("fpoints", 31, "ac: number of log-spaced points")
 		acSource = flag.String("acsource", "", "ac: source to stimulate (ACMag=1)")
 		trials   = flag.Int("trials", 200, "mc: number of Monte-Carlo dies")
-		node     = flag.String("node", "", "mc: monitored node")
+		node     = flag.String("node", "", "mc/corners: monitored node")
 		lo       = flag.Float64("lo", math.Inf(-1), "mc: spec lower bound")
 		hi       = flag.Float64("hi", math.Inf(1), "mc: spec upper bound")
 		seed     = flag.Uint64("seed", 1, "mc/age: RNG seed")
-		timeout  = flag.Duration("timeout", 0, "mc/age: wall-clock budget; partial results are reported on expiry (0 = none)")
+		timeout  = flag.Duration("timeout", 0, "mc/age: wall-clock budget; partial results are reported on expiry (serve: default per-job budget; 0 = none)")
 		progress = flag.Bool("progress", false, "print a per-second instrument snapshot line to stderr")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/vars on this address (e.g. :9090)")
+
+		serveAddr = flag.String("serve", "", "run as a job server on this address (e.g. :8080) instead of a one-shot analysis")
+		queue     = flag.Int("queue", 64, "serve: bounded job-queue depth (backpressure beyond it)")
+		workers   = flag.Int("workers", 0, "serve: worker pool size (0 = GOMAXPROCS)")
+		drain     = flag.Duration("drain", 30*time.Second, "serve: graceful-shutdown drain budget for running jobs")
 	)
 	flag.Parse()
+
+	if *serveAddr != "" {
+		runServe(*serveAddr, *queue, *workers, *timeout, *drain, *metrics, *progress)
+		return
+	}
 	if *netFile == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Unknown -analysis is a usage error: usage + exit 2, before any work.
+	spec := &jobspec.Spec{Analysis: jobspec.Kind(*analysis)}
+	if err := spec.Validate(); err != nil {
+		var unknown *jobspec.ErrUnknownAnalysis
+		if errors.As(err, &unknown) {
+			fmt.Fprintf(os.Stderr, "relsim: %v\n", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+
+	text, err := os.ReadFile(*netFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec = &jobspec.Spec{
+		Version:  jobspec.SpecVersion,
+		Analysis: jobspec.Kind(*analysis),
+		Netlist:  string(text),
+		Record:   splitList(*record),
+		Seed:     *seed,
+		Timeout:  jobspec.Duration(*timeout),
+	}
+	switch spec.Analysis {
+	case jobspec.KindTran:
+		spec.Tran = &jobspec.TranParams{Stop: *stop, Step: *step, Adaptive: *adaptive, LTETol: *ltetol}
+	case jobspec.KindSweep:
+		spec.Sweep = &jobspec.SweepParams{Source: *source, From: *from, To: *to, Points: *points}
+	case jobspec.KindAC:
+		spec.AC = &jobspec.ACParams{Source: *acSource, FStart: *acFrom, FStop: *acTo, Points: *acPoints}
+	case jobspec.KindAge:
+		spec.Age = &jobspec.AgeParams{Years: *years, TempK: *temp, Checkpoints: 10}
+	case jobspec.KindMC:
+		mc := &jobspec.MCParams{Trials: *trials, Node: *node}
+		if !math.IsInf(*lo, -1) {
+			v := *lo
+			mc.Lo = &v
+		}
+		if !math.IsInf(*hi, 1) {
+			v := *hi
+			mc.Hi = &v
+		}
+		spec.MC = mc
+	case jobspec.KindCorners:
+		// 3σ global corner levels: a representative 30 mV / 8 % spread.
+		spec.Corners = &jobspec.CornersParams{Node: *node, SigmaVT: 0.03, SigmaBeta: 0.08}
+	}
+	// No ApplyDefaults here: the flag defaults above already encode every
+	// default, and defaulting would silently rewrite explicit zeros
+	// (-seed 0, -trials 0) the way a sparse JSON document wants but a
+	// command line does not.
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
 	// Wire the whole-stack instrumentation when anything consumes it; with
@@ -103,9 +182,15 @@ func main() {
 		reg := obs.NewRegistry()
 		core.EnableMetrics(reg)
 		if *metrics != "" {
+			// Listen synchronously so a bad address or busy port fails the
+			// run at startup instead of being logged mid-analysis.
+			ln, err := net.Listen("tcp", *metrics)
+			if err != nil {
+				log.Fatalf("metrics server: %v", err)
+			}
+			log.Printf("serving metrics on http://%s/metrics", ln.Addr())
 			go func() {
-				log.Printf("serving metrics on http://%s/metrics", *metrics)
-				if err := http.ListenAndServe(*metrics, obs.Handler(reg)); err != nil {
+				if err := http.Serve(ln, obs.Handler(reg)); err != nil {
 					log.Printf("metrics server: %v", err)
 				}
 			}()
@@ -124,10 +209,8 @@ func main() {
 		}
 	}
 
-	text, err := os.ReadFile(*netFile)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Parse once up front for the banner (Execute re-parses internally);
+	// deck errors surface here, before any analysis starts.
 	deck, err := netlist.Parse(string(text))
 	if err != nil {
 		log.Fatal(err)
@@ -137,37 +220,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "* %s (tech %s, %g K)\n", deck.Title, deck.Tech.Name, deck.TempK)
 	}
 
-	nodes := splitList(*record)
-
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	res, err := jobspec.Execute(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	switch *analysis {
-	case "op":
-		runOP(deck, nodes)
-	case "tran":
-		if *adaptive {
-			runTranAdaptive(deck, nodes, *stop, *step, *ltetol)
-		} else {
-			runTran(deck, nodes, *stop, *step)
-		}
-	case "sweep":
-		runSweep(deck, nodes, *source, *from, *to, *points)
-	case "ac":
-		runAC(deck, nodes, *acSource, *acFrom, *acTo, *acPoints)
-	case "age":
-		runAge(ctx, deck, nodes, *years, *temp, *seed)
-	case "mc":
-		runMC(ctx, string(text), deck, *node, *trials, *lo, *hi, *seed)
-	case "corners":
-		runCorners(deck, *node)
-	default:
-		log.Fatalf("unknown analysis %q", *analysis)
-	}
+	render(spec, res)
 }
 
 func splitList(s string) []string {
@@ -179,262 +236,4 @@ func splitList(s string) []string {
 		parts[i] = strings.TrimSpace(parts[i])
 	}
 	return parts
-}
-
-func runOP(deck *netlist.Deck, nodes []string) {
-	sol, err := deck.Circuit.OperatingPoint()
-	if err != nil {
-		log.Fatal(err)
-	}
-	if len(nodes) == 0 {
-		nodes = deck.Circuit.NodeNames()
-	}
-	t := report.NewTable("operating point", "node", "V")
-	for _, n := range nodes {
-		t.AddRow(n, report.SI(sol.Voltage(n), "V"))
-	}
-	fmt.Println(t)
-	if len(deck.MOSFETs) > 0 {
-		mt := report.NewTable("devices", "name", "ID", "gm", "region")
-		for _, m := range deck.Circuit.MOSFETs() {
-			op := m.OP()
-			mt.AddRow(m.Name(), report.SI(op.ID, "A"), report.SI(op.Gm, "S"), op.Region)
-		}
-		fmt.Println(mt)
-	}
-}
-
-func runTran(deck *netlist.Deck, nodes []string, stop, step float64) {
-	wf, err := deck.Circuit.Transient(circuit.TranSpec{
-		Stop: stop, Step: step, Integrator: circuit.Trapezoidal, Record: nodes,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if len(nodes) == 0 {
-		nodes = wf.Nodes()
-	}
-	headers := append([]string{"t [s]"}, nodes...)
-	rows := make([][]float64, len(wf.Times))
-	for i, tm := range wf.Times {
-		row := []float64{tm}
-		for _, n := range nodes {
-			row = append(row, wf.Node(n)[i])
-		}
-		rows[i] = row
-	}
-	fmt.Print(report.CSV(headers, rows))
-}
-
-func runTranAdaptive(deck *netlist.Deck, nodes []string, stop, minStep, ltetol float64) {
-	wf, err := deck.Circuit.TransientAdaptive(circuit.AdaptiveSpec{
-		Stop: stop, MinStep: minStep, MaxStep: stop / 20, LTETol: ltetol,
-		Integrator: circuit.Trapezoidal, Record: nodes,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if len(nodes) == 0 {
-		nodes = wf.Nodes()
-	}
-	headers := append([]string{"t [s]"}, nodes...)
-	rows := make([][]float64, len(wf.Times))
-	for i, tm := range wf.Times {
-		row := []float64{tm}
-		for _, n := range nodes {
-			row = append(row, wf.Node(n)[i])
-		}
-		rows[i] = row
-	}
-	fmt.Print(report.CSV(headers, rows))
-}
-
-func runSweep(deck *netlist.Deck, nodes []string, source string, from, to float64, points int) {
-	if source == "" {
-		log.Fatal("sweep needs -source")
-	}
-	if points < 2 {
-		log.Fatal("sweep needs -points >= 2")
-	}
-	values := mathx.Linspace(from, to, points)
-	sols, err := deck.Circuit.DCSweep(source, values)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if len(nodes) == 0 {
-		nodes = deck.Circuit.NodeNames()
-	}
-	headers := append([]string{source}, nodes...)
-	rows := make([][]float64, len(values))
-	for i := range values {
-		row := []float64{values[i]}
-		for _, n := range nodes {
-			row = append(row, sols[i].Voltage(n))
-		}
-		rows[i] = row
-	}
-	fmt.Print(report.CSV(headers, rows))
-}
-
-func runAC(deck *netlist.Deck, nodes []string, source string, from, to float64, points int) {
-	if source == "" {
-		log.Fatal("ac needs -acsource")
-	}
-	src, err := deck.Circuit.VSourceByName(source)
-	if err != nil {
-		log.Fatal(err)
-	}
-	src.ACMag = 1
-	if len(nodes) == 0 {
-		nodes = deck.Circuit.NodeNames()
-	}
-	if points < 2 || from <= 0 || to <= from {
-		log.Fatal("ac needs 0 < fstart < fstop and fpoints >= 2")
-	}
-	pts, err := deck.Circuit.AC(mathx.Logspace(from, to, points))
-	if err != nil {
-		log.Fatal(err)
-	}
-	headers := []string{"f [Hz]"}
-	for _, n := range nodes {
-		headers = append(headers, n+" [dB]", n+" [deg]")
-	}
-	rows := make([][]float64, len(pts))
-	for i, p := range pts {
-		row := []float64{p.Freq}
-		for _, n := range nodes {
-			row = append(row, p.MagDB(n), p.PhaseDeg(n))
-		}
-		rows[i] = row
-	}
-	fmt.Print(report.CSV(headers, rows))
-}
-
-func runAge(ctx context.Context, deck *netlist.Deck, nodes []string, years, temp float64, seed uint64) {
-	if len(nodes) == 0 {
-		nodes = deck.Circuit.NodeNames()
-	}
-	ager := aging.NewCircuitAger(deck.Circuit, aging.DefaultModels(), temp, seed)
-	traj, err := ager.AgeToCtx(ctx, aging.LogCheckpoints(3600, years*year, 10))
-	if err != nil {
-		if len(traj) == 0 || !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
-			log.Fatal(err)
-		}
-		log.Printf("warning: %v — reporting the partial trajectory (%d checkpoints)", err, len(traj))
-	}
-	headers := append([]string{"age"}, nodes...)
-	t := report.NewTable(fmt.Sprintf("aging trajectory (%g years @ %g K)", years, temp), headers...)
-	for _, cp := range traj {
-		cells := []string{report.Years(cp.Time)}
-		if cp.Failed {
-			cells = append(cells, "no convergence")
-		} else {
-			for _, n := range nodes {
-				cells = append(cells, report.SI(cp.Solution.Voltage(n), "V"))
-			}
-		}
-		t.AddRow(cells...)
-	}
-	fmt.Println(t)
-	dt := report.NewTable("device damage at end of life", "device", "ΔVT", "mobility", "BD mode")
-	for _, name := range ager.SortedAgerNames() {
-		m := deck.MOSFETs[name]
-		dt.AddRow(name,
-			report.SI(m.Dev.Damage.DeltaVT, "V"),
-			fmt.Sprintf("%.3f", m.Dev.Damage.MobilityFactor),
-			ager.Ager(name).BDMode().String())
-	}
-	fmt.Println(dt)
-}
-
-func runCorners(deck *netlist.Deck, node string) {
-	if node == "" {
-		log.Fatal("corners needs -node")
-	}
-	// 3σ global corner levels: a representative 30 mV / 8 % spread.
-	corners := variation.StandardCorners(0.03, 0.08)
-	vals, err := variation.CornerSweep(deck.Circuit, corners, func(c *circuit.Circuit) (float64, error) {
-		sol, err := c.OperatingPoint()
-		if err != nil {
-			return 0, err
-		}
-		return sol.Voltage(node), nil
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	t := report.NewTable("process corners", "corner", "V("+node+")")
-	for _, co := range corners {
-		t.AddRow(co.Name, report.SI(vals[co.Name], "V"))
-	}
-	fmt.Println(t)
-}
-
-func runMC(ctx context.Context, text string, deck *netlist.Deck, node string, trials int, lo, hi float64, seed uint64) {
-	if node == "" {
-		log.Fatal("mc needs -node")
-	}
-	// Trials run in parallel, so each die parses its own circuit instead
-	// of mutating the shared deck; the nominal solution warm-starts every
-	// trial's first solve. Live progress comes from the obs instrumentation
-	// (-progress / -metrics-addr), not from ad-hoc counters here.
-	var guess []float64
-	if sol, err := deck.Circuit.OperatingPoint(); err == nil {
-		guess = sol.X
-	}
-	res, err := variation.MonteCarloCtx(ctx, trials, seed, func(rng *mathx.RNG, _ int) (float64, error) {
-		die, err := netlist.Parse(text)
-		if err != nil {
-			return 0, err
-		}
-		if guess != nil {
-			_ = die.Circuit.SetInitialGuess(guess)
-		}
-		variation.ApplyRandomMismatch(die.Circuit, die.Tech, variation.NominalCorner(), rng)
-		sol, err := die.Circuit.OperatingPoint()
-		if err != nil {
-			return 0, err
-		}
-		return sol.Voltage(node), nil
-	})
-	if err != nil {
-		if !errors.Is(err, variation.ErrCancelled) {
-			log.Fatal(err)
-		}
-		log.Printf("warning: %v — reporting partial results", err)
-	}
-	printMCAccounting(res)
-	if len(res.Values) == 0 {
-		log.Fatal("mc: no trial produced a value")
-	}
-	fmt.Printf("V(%s) over %d dies: mean %s, σ %s\n", node, res.Completed(),
-		report.SI(res.Mean(), "V"), report.SI(res.StdDev(), "V"))
-	loQ, hiQ := mathx.MinMax(res.Values)
-	h := mathx.NewHistogram(loQ, hiQ+1e-12, 15)
-	for _, v := range res.Values {
-		h.Add(v)
-	}
-	fmt.Print(report.TextHist(h, 40))
-	if !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
-		y := variation.EstimateYield(res.Values, variation.Spec{Name: node, Lo: lo, Hi: hi})
-		fmt.Printf("yield for %g <= V(%s) <= %g: %s\n", lo, node, hi, y)
-	}
-}
-
-// printMCAccounting reports the run's structured failure accounting —
-// how many dies measured, failed (by kind), returned NaN or were never
-// run — so partial and degraded runs are legible to operators. It writes
-// to stderr: the accounting is diagnostics, and stdout may be a pipe
-// carrying the measurement results.
-func printMCAccounting(res *variation.MCResult) {
-	fmt.Fprintf(os.Stderr, "trials: %d requested, %d completed in %s (%d ok, %d failed, %d NaN, %d cancelled)\n",
-		res.N, res.Completed(), res.Elapsed.Round(time.Millisecond),
-		len(res.Values), res.Failures, res.NaNs, res.Cancelled)
-	if res.Failures > 0 {
-		for kind, count := range res.ErrorsByKind() {
-			fmt.Fprintf(os.Stderr, "  %s failures: %d\n", kind, count)
-		}
-		// Show the first structured error as a debugging sample.
-		fmt.Fprintf(os.Stderr, "  first failure: %v\n", res.Errors[0])
-	}
 }

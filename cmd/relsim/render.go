@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/jobspec"
+	"repro/internal/mathx"
+	"repro/internal/report"
+)
+
+// render prints a jobspec.Result the way relsim always has: tables, CSV
+// and histograms to stdout; warnings and failure accounting to stderr.
+// The renderer consumes only the structured Result, so the server's JSON
+// clients and the CLI see the same numbers.
+func render(spec *jobspec.Spec, res *jobspec.Result) {
+	switch res.Kind {
+	case jobspec.KindOP:
+		renderOP(res.OP)
+	case jobspec.KindTran, jobspec.KindSweep, jobspec.KindAC:
+		fmt.Print(report.CSV(res.Series.Headers, res.Series.Rows))
+	case jobspec.KindAge:
+		renderAge(res)
+	case jobspec.KindMC:
+		renderMC(spec, res)
+	case jobspec.KindCorners:
+		renderCorners(res.Corners)
+	}
+}
+
+func renderOP(op *jobspec.OPResult) {
+	t := report.NewTable("operating point", "node", "V")
+	for _, nv := range op.Nodes {
+		t.AddRow(nv.Node, report.SI(nv.V, "V"))
+	}
+	fmt.Println(t)
+	if len(op.Devices) > 0 {
+		mt := report.NewTable("devices", "name", "ID", "gm", "region")
+		for _, d := range op.Devices {
+			mt.AddRow(d.Name, report.SI(d.ID, "A"), report.SI(d.Gm, "S"), d.Region)
+		}
+		fmt.Println(mt)
+	}
+}
+
+func renderAge(res *jobspec.Result) {
+	age := res.Age
+	if res.Partial {
+		log.Printf("warning: %s — reporting the partial trajectory (%d checkpoints)",
+			res.Warning, len(age.Checkpoints))
+	}
+	headers := append([]string{"age"}, age.Nodes...)
+	t := report.NewTable(fmt.Sprintf("aging trajectory (%g years @ %g K)", age.Years, age.TempK), headers...)
+	for _, cp := range age.Checkpoints {
+		cells := []string{report.Years(cp.Time)}
+		if cp.Failed {
+			cells = append(cells, "no convergence")
+		} else {
+			for _, nv := range cp.Nodes {
+				cells = append(cells, report.SI(nv.V, "V"))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	fmt.Println(t)
+	dt := report.NewTable("device damage at end of life", "device", "ΔVT", "mobility", "BD mode")
+	for _, d := range age.Devices {
+		dt.AddRow(d.Name,
+			report.SI(d.DeltaVT, "V"),
+			fmt.Sprintf("%.3f", d.MobilityFactor),
+			d.BDMode)
+	}
+	fmt.Println(dt)
+}
+
+func renderMC(spec *jobspec.Spec, res *jobspec.Result) {
+	mc := res.MC
+	if res.Partial {
+		log.Printf("warning: %s — reporting partial results", res.Warning)
+	}
+	printMCAccounting(mc)
+	if len(mc.Values) == 0 {
+		log.Fatal("mc: no trial produced a value")
+	}
+	fmt.Printf("V(%s) over %d dies: mean %s, σ %s\n", mc.Node, mc.Completed(),
+		report.SI(mathx.Mean(mc.Values), "V"), report.SI(mathx.StdDev(mc.Values), "V"))
+	loQ, hiQ := mathx.MinMax(mc.Values)
+	h := mathx.NewHistogram(loQ, hiQ+1e-12, 15)
+	for _, v := range mc.Values {
+		h.Add(v)
+	}
+	fmt.Print(report.TextHist(h, 40))
+	if spec.MC.HasSpec() {
+		fmt.Printf("yield for %g <= V(%s) <= %g: %s\n",
+			spec.MC.SpecLo(), mc.Node, spec.MC.SpecHi(), mc.Yield)
+	}
+}
+
+// printMCAccounting reports the run's structured failure accounting —
+// how many dies measured, failed (by kind), returned NaN or were never
+// run — so partial and degraded runs are legible to operators. It writes
+// to stderr: the accounting is diagnostics, and stdout may be a pipe
+// carrying the measurement results.
+func printMCAccounting(mc *jobspec.MCOutcome) {
+	fmt.Fprintf(os.Stderr, "trials: %d requested, %d completed in %s (%d ok, %d failed, %d NaN, %d cancelled)\n",
+		mc.Requested, mc.Completed(), time.Duration(mc.Elapsed).Round(time.Millisecond),
+		len(mc.Values), mc.Failures, mc.NaNs, mc.Cancelled)
+	if mc.Failures > 0 {
+		for kind, count := range mc.FailuresByKind {
+			fmt.Fprintf(os.Stderr, "  %s failures: %d\n", kind, count)
+		}
+		// Show the first structured error as a debugging sample.
+		fmt.Fprintf(os.Stderr, "  first failure: %s\n", mc.FirstFailure)
+	}
+}
+
+func renderCorners(c *jobspec.CornersResult) {
+	t := report.NewTable("process corners", "corner", "V("+c.Node+")")
+	for _, co := range c.Corners {
+		t.AddRow(co.Name, report.SI(co.V, "V"))
+	}
+	fmt.Println(t)
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// runServe runs relsim as a long-running job service: the internal/serve
+// API and the observability endpoints share one listener, per-job
+// defaults come from the same flags the one-shot mode uses, and SIGINT/
+// SIGTERM trigger a graceful drain in which running jobs persist partial
+// results.
+func runServe(addr string, queueDepth, workers int, defaultTimeout, drain time.Duration, metricsAddr string, progress bool) {
+	reg := obs.NewRegistry()
+	core.EnableMetrics(reg)
+
+	srv := serve.NewServer(serve.Config{
+		QueueDepth:     queueDepth,
+		Workers:        workers,
+		DefaultTimeout: defaultTimeout,
+		Registry:       reg,
+	})
+
+	// Listen synchronously so a bad address or busy port is a startup
+	// failure, not a log line racing the first request.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Printf("serving jobs on http://%s/v1/jobs (queue %d, metrics on /metrics)", ln.Addr(), queueDepth)
+	if metricsAddr != "" {
+		// The job mux already serves /metrics; honour -metrics-addr anyway
+		// for scrapers pointed at a dedicated port.
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics server: %v", err)
+		}
+		log.Printf("serving metrics on http://%s/metrics", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, obs.Handler(reg)); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+	if progress {
+		pub := obs.NewPublisher(reg, time.Second, &obs.LogSink{
+			W: os.Stderr, Prefix: "relsim: ",
+			Keys: []string{
+				"serve_queue_depth",
+				"serve_jobs_inflight",
+				"serve_jobs_submitted_total",
+				"variation_trial_seconds",
+			},
+		})
+		defer pub.Stop()
+	}
+
+	httpSrv := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down: draining jobs (budget %s)", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain budget exhausted: running jobs cancelled, partial results persisted")
+	}
+	httpCtx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	_ = httpSrv.Shutdown(httpCtx)
+	log.Printf("server stopped")
+}

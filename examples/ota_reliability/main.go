@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -39,7 +40,7 @@ func main() {
 		cfg.Tech.Name, s.DCGainDB, report.SI(s.GBW, "Hz"), s.PhaseMarginDeg, s.CMRRDB)
 
 	// Offset distribution over fabricated instances.
-	res, err := variation.MonteCarlo(200, 11, func(rng *mathx.RNG, _ int) (float64, error) {
+	res, err := variation.MonteCarloCtx(context.Background(), 200, 11, func(rng *mathx.RNG, _ int) (float64, error) {
 		oo, err := analog.NewOTA(cfg)
 		if err != nil {
 			return 0, err

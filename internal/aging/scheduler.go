@@ -198,6 +198,13 @@ type CircuitAger struct {
 	// DutyOverride, when non-nil, maps device name to stress duty factor
 	// (for switched circuits whose duty is known by construction).
 	DutyOverride map[string]float64
+	// OnCheckpoint, when non-nil, is called synchronously from AgeToCtx
+	// after each checkpoint solve with the count of mission checkpoints
+	// completed so far (1-based, excluding the t=0 snapshot) and the
+	// checkpoint just produced. It is a progress tap for long missions —
+	// the job server streams these as events; it must not mutate the
+	// circuit.
+	OnCheckpoint func(done int, cp Checkpoint)
 
 	agers map[string]*DeviceAger
 }
@@ -232,20 +239,22 @@ type Checkpoint struct {
 	Failed bool
 }
 
-// AgeTo ages the circuit from its current state to tEnd seconds using the
-// given checkpoint times (strictly increasing, seconds). At each
-// checkpoint the operating point is re-solved, stress re-extracted, and
-// all devices aged over the next interval. The returned trajectory has one
-// entry per checkpoint (including t=0).
+// AgeTo is AgeToCtx with context.Background().
+//
+// Deprecated: call AgeToCtx so long missions can be cancelled or bounded
+// by a deadline; this wrapper remains for source compatibility only.
 func (a *CircuitAger) AgeTo(checkpoints []float64) ([]Checkpoint, error) {
 	return a.AgeToCtx(context.Background(), checkpoints)
 }
 
-// AgeToCtx is AgeTo under a context: cancellation is checked before every
-// checkpoint, and a cancelled run returns the partial trajectory computed
-// so far alongside an error wrapping ctx.Err(). Devices are stepped in
-// sorted name order so a given (circuit, seed, checkpoints) ages
-// identically run-to-run.
+// AgeToCtx ages the circuit from its current state through the given
+// checkpoint times (strictly increasing, seconds). At each checkpoint the
+// operating point is re-solved, stress re-extracted, and all devices aged
+// over the next interval; the returned trajectory has one entry per
+// checkpoint. Cancellation is checked before every checkpoint, and a
+// cancelled run returns the partial trajectory computed so far alongside
+// an error wrapping ctx.Err(). Devices are stepped in sorted name order
+// so a given (circuit, seed, checkpoints) ages identically run-to-run.
 func (a *CircuitAger) AgeToCtx(ctx context.Context, checkpoints []float64) ([]Checkpoint, error) {
 	if len(checkpoints) == 0 {
 		return nil, fmt.Errorf("aging: no checkpoints")
@@ -267,7 +276,7 @@ func (a *CircuitAger) AgeToCtx(ctx context.Context, checkpoints []float64) ([]Ch
 
 	names := a.SortedAgerNames()
 	prev := 0.0
-	for _, t := range checkpoints {
+	for ck, t := range checkpoints {
 		if err := ctx.Err(); err != nil {
 			return traj, fmt.Errorf("aging: cancelled at t=%g: %w", prev, err)
 		}
@@ -286,12 +295,16 @@ func (a *CircuitAger) AgeToCtx(ctx context.Context, checkpoints []float64) ([]Ch
 		if m := met.Load(); m != nil {
 			m.checkpoints.Inc()
 		}
-		sol, err := a.Circuit.OperatingPoint()
-		if err != nil {
-			traj = append(traj, Checkpoint{Time: t, Failed: true})
-			continue
+		cp := Checkpoint{Time: t}
+		if sol, err := a.Circuit.OperatingPoint(); err != nil {
+			cp.Failed = true
+		} else {
+			cp.Solution = sol
 		}
-		traj = append(traj, Checkpoint{Time: t, Solution: sol})
+		traj = append(traj, cp)
+		if a.OnCheckpoint != nil {
+			a.OnCheckpoint(ck+1, cp)
+		}
 	}
 	return traj, nil
 }

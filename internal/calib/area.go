@@ -1,6 +1,7 @@
 package calib
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,7 +17,7 @@ func INLYield(cfg DACConfig, limit float64, calibrated bool, nMC int, seed uint6
 	if nMC <= 0 {
 		return variation.YieldEstimate{}, fmt.Errorf("calib: nMC must be positive")
 	}
-	res, err := variation.MonteCarlo(nMC, seed, func(rng *mathx.RNG, _ int) (float64, error) {
+	res, err := variation.MonteCarloCtx(context.Background(), nMC, seed, func(rng *mathx.RNG, _ int) (float64, error) {
 		d, err := NewDAC(cfg, rng)
 		if err != nil {
 			return 0, err

@@ -181,13 +181,17 @@ type trialOut struct {
 	newton    int64 // Newton iterations spent by this trial's circuit
 }
 
-// Run executes nTrials Monte-Carlo reliability trials. Trials run in
-// parallel but the result depends only on (Simulator.Seed, nTrials).
+// Run is RunCtx with context.Background().
+//
+// Deprecated: call RunCtx so the campaign can be cancelled or bounded by
+// a deadline; this wrapper remains for source compatibility only.
 func (s *Simulator) Run(nTrials int, mission Mission) (*Result, error) {
 	return s.RunCtx(context.Background(), nTrials, mission)
 }
 
-// RunCtx is Run under a context. Each trial is fault-isolated: a panic in
+// RunCtx executes nTrials Monte-Carlo reliability trials. Trials run in
+// parallel but the result depends only on (Simulator.Seed, nTrials).
+// Each trial is fault-isolated: a panic in
 // Build, mismatch sampling, aging or a Measure callback is recovered in
 // the worker and recorded as a structured TrialError instead of crashing
 // the run. When ctx is cancelled or its deadline passes, dispatch stops,

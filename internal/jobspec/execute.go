@@ -1,0 +1,387 @@
+package jobspec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/aging"
+	"repro/internal/circuit"
+	"repro/internal/mathx"
+	"repro/internal/netlist"
+	"repro/internal/variation"
+)
+
+const yearSeconds = 365.25 * 24 * 3600
+
+// Progress is one execution progress sample. Stage is "trial" for
+// Monte-Carlo dies and "checkpoint" for aging mission points; Done/Total
+// count completed units.
+type Progress struct {
+	Stage string `json:"stage"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// Options tunes an execution without changing its result.
+type Options struct {
+	// OnProgress, when non-nil, receives progress samples. Calls are
+	// serialized and Done is strictly increasing within a stage, so a
+	// consumer can append them to an ordered event log directly.
+	OnProgress func(Progress)
+	// ProgressEvery emits every k-th sample (the final one always fires).
+	// 0 picks a default that bounds a run to ~200 samples.
+	ProgressEvery int
+}
+
+// progressMeter serializes progress emission: Monte-Carlo trials finish
+// concurrently, and without the lock two workers could emit Done values
+// out of order between the increment and the callback.
+type progressMeter struct {
+	mu    sync.Mutex
+	done  int
+	total int
+	every int
+	stage string
+	emit  func(Progress)
+}
+
+func newMeter(stage string, total int, opts Options) *progressMeter {
+	if opts.OnProgress == nil {
+		return nil
+	}
+	every := opts.ProgressEvery
+	if every <= 0 {
+		every = total / 200
+		if every < 1 {
+			every = 1
+		}
+	}
+	return &progressMeter{total: total, every: every, stage: stage, emit: opts.OnProgress}
+}
+
+// tick records one completed unit and emits if due. Nil meters are no-ops
+// so the disabled path costs one comparison.
+func (p *progressMeter) tick() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	if p.done%p.every == 0 || p.done == p.total {
+		p.emit(Progress{Stage: p.stage, Done: p.done, Total: p.total})
+	}
+	p.mu.Unlock()
+}
+
+// Execute runs one analysis described by spec and returns its structured
+// result. The spec is validated first, so a half-filled spec fails
+// loudly rather than running with garbage; callers that accept sparse
+// documents (the HTTP server) run ApplyDefaults at admission, while the
+// CLI's flags already encode every default. A spec Timeout is layered
+// onto ctx; cancellation or expiry mid-run yields a partial Result
+// (Partial set, Warning explaining why) for the analyses that support it
+// (mc, age) and an error for the rest. Execute is the single dispatch
+// path shared by the relsim CLI and the internal/serve job server —
+// both execute the identical struct.
+func Execute(ctx context.Context, spec *Spec) (*Result, error) {
+	return ExecuteOpts(ctx, spec, Options{})
+}
+
+// ExecuteOpts is Execute with progress streaming.
+func ExecuteOpts(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("jobspec: nil spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if spec.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.Timeout))
+		defer cancel()
+	}
+	text := spec.Netlist
+	if text == "" {
+		b, err := os.ReadFile(spec.NetlistFile)
+		if err != nil {
+			return nil, fmt.Errorf("jobspec: %w", err)
+		}
+		text = string(b)
+	}
+	deck, err := netlist.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("jobspec: %w before start", err)
+	}
+
+	start := time.Now()
+	res := &Result{Kind: spec.Analysis}
+	switch spec.Analysis {
+	case KindOP:
+		err = executeOP(deck, spec, res)
+	case KindTran:
+		err = executeTran(deck, spec, res)
+	case KindSweep:
+		err = executeSweep(deck, spec, res)
+	case KindAC:
+		err = executeAC(deck, spec, res)
+	case KindAge:
+		err = executeAge(ctx, deck, spec, res, opts)
+	case KindMC:
+		err = executeMC(ctx, text, deck, spec, res, opts)
+	case KindCorners:
+		err = executeCorners(deck, spec, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = Duration(time.Since(start))
+	return res, nil
+}
+
+// recordNodes resolves the report node list (default: every node).
+func recordNodes(deck *netlist.Deck, spec *Spec) []string {
+	if len(spec.Record) > 0 {
+		return spec.Record
+	}
+	return deck.Circuit.NodeNames()
+}
+
+func executeOP(deck *netlist.Deck, spec *Spec, res *Result) error {
+	sol, err := deck.Circuit.OperatingPoint()
+	if err != nil {
+		return err
+	}
+	out := &OPResult{}
+	for _, n := range recordNodes(deck, spec) {
+		out.Nodes = append(out.Nodes, NodeVoltage{Node: n, V: sol.Voltage(n)})
+	}
+	if len(deck.MOSFETs) > 0 {
+		for _, m := range deck.Circuit.MOSFETs() {
+			op := m.OP()
+			out.Devices = append(out.Devices, DeviceOP{
+				Name: m.Name(), ID: op.ID, Gm: op.Gm, Region: op.Region,
+			})
+		}
+	}
+	res.OP = out
+	return nil
+}
+
+// seriesFromWaveforms flattens a transient result into a Series, using
+// the waveform's own node order when the spec recorded nothing.
+func seriesFromWaveforms(wf *circuit.Waveforms, nodes []string) *Series {
+	if len(nodes) == 0 {
+		nodes = wf.Nodes()
+	}
+	s := &Series{Headers: append([]string{"t [s]"}, nodes...)}
+	s.Rows = make([][]float64, len(wf.Times))
+	for i, tm := range wf.Times {
+		row := []float64{tm}
+		for _, n := range nodes {
+			row = append(row, wf.Node(n)[i])
+		}
+		s.Rows[i] = row
+	}
+	return s
+}
+
+func executeTran(deck *netlist.Deck, spec *Spec, res *Result) error {
+	p := spec.Tran
+	var (
+		wf  *circuit.Waveforms
+		err error
+	)
+	if p.Adaptive {
+		wf, err = deck.Circuit.TransientAdaptive(circuit.AdaptiveSpec{
+			Stop: p.Stop, MinStep: p.Step, MaxStep: p.Stop / 20, LTETol: p.LTETol,
+			Integrator: circuit.Trapezoidal, Record: spec.Record,
+		})
+	} else {
+		wf, err = deck.Circuit.Transient(circuit.TranSpec{
+			Stop: p.Stop, Step: p.Step, Integrator: circuit.Trapezoidal, Record: spec.Record,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	res.Series = seriesFromWaveforms(wf, spec.Record)
+	return nil
+}
+
+func executeSweep(deck *netlist.Deck, spec *Spec, res *Result) error {
+	p := spec.Sweep
+	values := mathx.Linspace(p.From, p.To, p.Points)
+	sols, err := deck.Circuit.DCSweep(p.Source, values)
+	if err != nil {
+		return err
+	}
+	nodes := recordNodes(deck, spec)
+	s := &Series{Headers: append([]string{p.Source}, nodes...)}
+	s.Rows = make([][]float64, len(values))
+	for i := range values {
+		row := []float64{values[i]}
+		for _, n := range nodes {
+			row = append(row, sols[i].Voltage(n))
+		}
+		s.Rows[i] = row
+	}
+	res.Series = s
+	return nil
+}
+
+func executeAC(deck *netlist.Deck, spec *Spec, res *Result) error {
+	p := spec.AC
+	src, err := deck.Circuit.VSourceByName(p.Source)
+	if err != nil {
+		return err
+	}
+	src.ACMag = 1
+	pts, err := deck.Circuit.AC(mathx.Logspace(p.FStart, p.FStop, p.Points))
+	if err != nil {
+		return err
+	}
+	nodes := recordNodes(deck, spec)
+	s := &Series{Headers: []string{"f [Hz]"}}
+	for _, n := range nodes {
+		s.Headers = append(s.Headers, n+" [dB]", n+" [deg]")
+	}
+	s.Rows = make([][]float64, len(pts))
+	for i := range pts {
+		row := []float64{pts[i].Freq}
+		for _, n := range nodes {
+			row = append(row, pts[i].MagDB(n), pts[i].PhaseDeg(n))
+		}
+		s.Rows[i] = row
+	}
+	res.Series = s
+	return nil
+}
+
+func executeAge(ctx context.Context, deck *netlist.Deck, spec *Spec, res *Result, opts Options) error {
+	p := spec.Age
+	nodes := recordNodes(deck, spec)
+	ager := aging.NewCircuitAger(deck.Circuit, aging.DefaultModels(), p.TempK, spec.Seed)
+	meter := newMeter("checkpoint", p.Checkpoints, opts)
+	ager.OnCheckpoint = func(int, aging.Checkpoint) { meter.tick() }
+	traj, err := ager.AgeToCtx(ctx, aging.LogCheckpoints(3600, p.Years*yearSeconds, p.Checkpoints))
+	if err != nil {
+		if len(traj) == 0 || !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			return err
+		}
+		res.Partial = true
+		res.Warning = err.Error()
+	}
+	out := &AgeResult{Years: p.Years, TempK: p.TempK, Nodes: nodes}
+	for _, cp := range traj {
+		ck := AgeCheckpoint{Time: cp.Time, Failed: cp.Failed}
+		if !cp.Failed {
+			for _, n := range nodes {
+				ck.Nodes = append(ck.Nodes, NodeVoltage{Node: n, V: cp.Solution.Voltage(n)})
+			}
+		}
+		out.Checkpoints = append(out.Checkpoints, ck)
+	}
+	for _, name := range ager.SortedAgerNames() {
+		m := deck.MOSFETs[name]
+		out.Devices = append(out.Devices, DeviceDamage{
+			Name:           name,
+			DeltaVT:        m.Dev.Damage.DeltaVT,
+			MobilityFactor: m.Dev.Damage.MobilityFactor,
+			BDMode:         ager.Ager(name).BDMode().String(),
+		})
+	}
+	res.Age = out
+	return nil
+}
+
+func executeMC(ctx context.Context, text string, deck *netlist.Deck, spec *Spec, res *Result, opts Options) error {
+	p := spec.MC
+	// Trials run in parallel, so each die parses its own circuit instead
+	// of mutating the shared deck; the nominal solution warm-starts every
+	// trial's first solve.
+	var guess []float64
+	if sol, err := deck.Circuit.OperatingPoint(); err == nil {
+		guess = sol.X
+	}
+	meter := newMeter("trial", p.Trials, opts)
+	mc, err := variation.MonteCarloCtx(ctx, p.Trials, spec.Seed, func(rng *mathx.RNG, _ int) (float64, error) {
+		defer meter.tick()
+		die, err := netlist.Parse(text)
+		if err != nil {
+			return 0, err
+		}
+		if guess != nil {
+			_ = die.Circuit.SetInitialGuess(guess)
+		}
+		variation.ApplyRandomMismatch(die.Circuit, die.Tech, variation.NominalCorner(), rng)
+		sol, err := die.Circuit.OperatingPoint()
+		if err != nil {
+			return 0, err
+		}
+		return sol.Voltage(p.Node), nil
+	})
+	if err != nil {
+		if !errors.Is(err, variation.ErrCancelled) {
+			return err
+		}
+		res.Partial = true
+		res.Warning = err.Error()
+	}
+	out := &MCOutcome{
+		Node:      p.Node,
+		Requested: mc.N,
+		Values:    mc.Values,
+		Failures:  mc.Failures,
+		NaNs:      mc.NaNs,
+		Cancelled: mc.Cancelled,
+		Elapsed:   Duration(mc.Elapsed),
+	}
+	if mc.Failures > 0 {
+		out.FailuresByKind = make(map[string]int)
+		for kind, count := range mc.ErrorsByKind() {
+			out.FailuresByKind[kind.String()] = count
+		}
+		out.FirstFailure = mc.Errors[0].Error()
+	}
+	if p.HasSpec() && len(mc.Values) > 0 {
+		y := variation.EstimateYield(mc.Values, variation.Spec{
+			Name: p.Node, Lo: p.SpecLo(), Hi: p.SpecHi(),
+		})
+		out.Yield = &y
+	}
+	res.MC = out
+	return nil
+}
+
+func executeCorners(deck *netlist.Deck, spec *Spec, res *Result) error {
+	p := spec.Corners
+	// 3σ global corner levels; the defaults are a representative
+	// 30 mV / 8 % spread.
+	corners := variation.StandardCorners(p.SigmaVT, p.SigmaBeta)
+	vals, err := variation.CornerSweep(deck.Circuit, corners, func(c *circuit.Circuit) (float64, error) {
+		sol, err := c.OperatingPoint()
+		if err != nil {
+			return 0, err
+		}
+		return sol.Voltage(p.Node), nil
+	})
+	if err != nil {
+		return err
+	}
+	out := &CornersResult{Node: p.Node}
+	for _, co := range corners {
+		out.Corners = append(out.Corners, CornerValue{Name: co.Name, V: vals[co.Name]})
+	}
+	res.Corners = out
+	return nil
+}

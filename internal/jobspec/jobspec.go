@@ -1,0 +1,339 @@
+// Package jobspec defines the versioned, JSON-serializable description of
+// one reliability analysis — the unit of work of this reproduction. The
+// paper's resilience loop (§5.2) assumes reliability analyses run as
+// continuous, parameterized campaigns rather than ad-hoc batch
+// invocations; a campaign needs a stable wire format for "run this
+// analysis on this netlist with these parameters". A Spec captures
+// exactly that (analysis kind, netlist source, parameters, seed, wall
+// budget), a Result captures the structured outcome, and Execute runs the
+// one through the other — the single dispatch path behind both the relsim
+// command line and the internal/serve HTTP job service, so a flag-driven
+// one-shot run and a POSTed server job execute the identical struct.
+package jobspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+)
+
+// SpecVersion is the current schema version. Version 0 in an incoming
+// document means "unversioned, oldest" and is upgraded to 1 by
+// ApplyDefaults; versions above SpecVersion are rejected by Validate so
+// an old server never silently misreads a newer client's spec.
+const SpecVersion = 1
+
+// Kind names one analysis.
+type Kind string
+
+// The supported analysis kinds. They mirror relsim's -analysis values.
+const (
+	KindOP      Kind = "op"      // DC operating point
+	KindTran    Kind = "tran"    // transient (fixed or adaptive step)
+	KindSweep   Kind = "sweep"   // DC source sweep
+	KindAC      Kind = "ac"      // small-signal frequency sweep
+	KindAge     Kind = "age"     // NBTI/HCI/TDDB mission aging
+	KindMC      Kind = "mc"      // Monte-Carlo mismatch
+	KindCorners Kind = "corners" // TT/SS/FF/SF/FS global corners
+)
+
+// Kinds lists every valid analysis kind in documentation order.
+func Kinds() []Kind {
+	return []Kind{KindOP, KindTran, KindSweep, KindAC, KindAge, KindMC, KindCorners}
+}
+
+// ErrUnknownAnalysis tags validation failures caused by an unrecognised
+// analysis kind, so the CLI can turn exactly that mistake into usage +
+// exit 2 while other validation errors stay ordinary failures.
+type ErrUnknownAnalysis struct{ Kind Kind }
+
+func (e *ErrUnknownAnalysis) Error() string {
+	return fmt.Sprintf("jobspec: unknown analysis %q (want one of %v)", e.Kind, Kinds())
+}
+
+// Duration is a time.Duration that marshals to/from the Go duration
+// string ("30s", "1m30s") so specs stay readable on the wire.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts either a duration string or a number of
+// nanoseconds (the encoding a naive client produces).
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		dd, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("jobspec: bad duration %q: %w", s, err)
+		}
+		*d = Duration(dd)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("jobspec: duration must be a string or integer nanoseconds")
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Spec is one fully-parameterized analysis request. The zero value plus
+// Analysis and a netlist source is a valid request after ApplyDefaults.
+type Spec struct {
+	// Version is the schema version (see SpecVersion). 0 means "default".
+	Version int `json:"version"`
+	// Analysis selects the engine.
+	Analysis Kind `json:"analysis"`
+	// Netlist is the inline SPICE-flavoured deck text. It takes priority
+	// over NetlistFile and is the only source the HTTP server accepts.
+	Netlist string `json:"netlist,omitempty"`
+	// NetlistFile names a local file to read when Netlist is empty
+	// (CLI convenience; rejected by the job server).
+	NetlistFile string `json:"netlist_file,omitempty"`
+	// Record lists the nodes to report (empty = analysis-specific default,
+	// usually every node).
+	Record []string `json:"record,omitempty"`
+	// Seed fixes the RNG for mc and age.
+	Seed uint64 `json:"seed,omitempty"`
+	// Timeout bounds the analysis wall clock; on expiry mc and age report
+	// the completed portion as a partial result. 0 = unbounded.
+	Timeout Duration `json:"timeout,omitempty"`
+
+	// Exactly the parameter block matching Analysis is consulted; the
+	// others may be nil.
+	Tran    *TranParams    `json:"tran,omitempty"`
+	Sweep   *SweepParams   `json:"sweep,omitempty"`
+	AC      *ACParams      `json:"ac,omitempty"`
+	Age     *AgeParams     `json:"age,omitempty"`
+	MC      *MCParams      `json:"mc,omitempty"`
+	Corners *CornersParams `json:"corners,omitempty"`
+}
+
+// TranParams parameterizes a transient analysis.
+type TranParams struct {
+	// Stop is the end time [s]; Step the fixed step (or minimum step when
+	// Adaptive) [s].
+	Stop float64 `json:"stop"`
+	Step float64 `json:"step"`
+	// Adaptive selects LTE-controlled variable stepping with tolerance
+	// LTETol [V].
+	Adaptive bool    `json:"adaptive,omitempty"`
+	LTETol   float64 `json:"lte_tol,omitempty"`
+}
+
+// SweepParams parameterizes a DC sweep.
+type SweepParams struct {
+	// Source is the swept source element.
+	Source string  `json:"source"`
+	From   float64 `json:"from"`
+	To     float64 `json:"to"`
+	Points int     `json:"points"`
+}
+
+// ACParams parameterizes a small-signal frequency sweep.
+type ACParams struct {
+	// Source is stimulated with ACMag = 1.
+	Source string  `json:"source"`
+	FStart float64 `json:"fstart"`
+	FStop  float64 `json:"fstop"`
+	Points int     `json:"points"`
+}
+
+// AgeParams parameterizes a mission aging analysis.
+type AgeParams struct {
+	// Years is the mission length; TempK the junction temperature.
+	Years float64 `json:"years"`
+	TempK float64 `json:"temp_k"`
+	// Checkpoints is the number of log-spaced trajectory points.
+	Checkpoints int `json:"checkpoints,omitempty"`
+}
+
+// MCParams parameterizes a Monte-Carlo mismatch analysis.
+type MCParams struct {
+	// Trials is the number of dies; Node the monitored node voltage.
+	Trials int    `json:"trials"`
+	Node   string `json:"node"`
+	// Lo/Hi bound the yield spec; nil means unbounded on that side
+	// (JSON cannot carry ±Inf).
+	Lo *float64 `json:"lo,omitempty"`
+	Hi *float64 `json:"hi,omitempty"`
+}
+
+// SpecLo returns the lower spec bound (-Inf when unset).
+func (p *MCParams) SpecLo() float64 {
+	if p == nil || p.Lo == nil {
+		return math.Inf(-1)
+	}
+	return *p.Lo
+}
+
+// SpecHi returns the upper spec bound (+Inf when unset).
+func (p *MCParams) SpecHi() float64 {
+	if p == nil || p.Hi == nil {
+		return math.Inf(1)
+	}
+	return *p.Hi
+}
+
+// HasSpec reports whether either yield bound is set.
+func (p *MCParams) HasSpec() bool { return p != nil && (p.Lo != nil || p.Hi != nil) }
+
+// CornersParams parameterizes a global-corner sweep.
+type CornersParams struct {
+	// Node is the monitored node voltage.
+	Node string `json:"node"`
+	// SigmaVT [V] and SigmaBeta (fractional) set the 3σ corner levels.
+	SigmaVT   float64 `json:"sigma_vt,omitempty"`
+	SigmaBeta float64 `json:"sigma_beta,omitempty"`
+}
+
+// ApplyDefaults fills every unset field with the documented default —
+// the same values the relsim flags default to — and stamps Version. It
+// is idempotent and safe on specs that already carry values.
+func (s *Spec) ApplyDefaults() {
+	if s.Version == 0 {
+		s.Version = SpecVersion
+	}
+	if s.Analysis == "" {
+		s.Analysis = KindOP
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	switch s.Analysis {
+	case KindTran:
+		if s.Tran == nil {
+			s.Tran = &TranParams{}
+		}
+		if s.Tran.Stop == 0 {
+			s.Tran.Stop = 1e-3
+		}
+		if s.Tran.Step == 0 {
+			s.Tran.Step = 1e-6
+		}
+		if s.Tran.LTETol == 0 {
+			s.Tran.LTETol = 1e-3
+		}
+	case KindSweep:
+		if s.Sweep == nil {
+			s.Sweep = &SweepParams{}
+		}
+		if s.Sweep.Points == 0 {
+			s.Sweep.Points = 11
+		}
+		if s.Sweep.From == 0 && s.Sweep.To == 0 {
+			s.Sweep.To = 1
+		}
+	case KindAC:
+		if s.AC == nil {
+			s.AC = &ACParams{}
+		}
+		if s.AC.FStart == 0 {
+			s.AC.FStart = 1e3
+		}
+		if s.AC.FStop == 0 {
+			s.AC.FStop = 1e9
+		}
+		if s.AC.Points == 0 {
+			s.AC.Points = 31
+		}
+	case KindAge:
+		if s.Age == nil {
+			s.Age = &AgeParams{}
+		}
+		if s.Age.Years == 0 {
+			s.Age.Years = 10
+		}
+		if s.Age.TempK == 0 {
+			s.Age.TempK = 350
+		}
+		if s.Age.Checkpoints == 0 {
+			s.Age.Checkpoints = 10
+		}
+	case KindMC:
+		if s.MC == nil {
+			s.MC = &MCParams{}
+		}
+		if s.MC.Trials == 0 {
+			s.MC.Trials = 200
+		}
+	case KindCorners:
+		if s.Corners == nil {
+			s.Corners = &CornersParams{}
+		}
+		if s.Corners.SigmaVT == 0 {
+			s.Corners.SigmaVT = 0.03
+		}
+		if s.Corners.SigmaBeta == 0 {
+			s.Corners.SigmaBeta = 0.08
+		}
+	}
+}
+
+// Validate checks the spec for executability. It does not parse the
+// netlist — deck errors surface from Execute — but it catches every
+// structural mistake: unknown kind, missing netlist source, missing or
+// out-of-range parameters. Call ApplyDefaults first unless every field
+// is explicit.
+func (s *Spec) Validate() error {
+	if s.Version < 0 || s.Version > SpecVersion {
+		return fmt.Errorf("jobspec: unsupported spec version %d (max %d)", s.Version, SpecVersion)
+	}
+	switch s.Analysis {
+	case KindOP, KindTran, KindSweep, KindAC, KindAge, KindMC, KindCorners:
+	default:
+		return &ErrUnknownAnalysis{Kind: s.Analysis}
+	}
+	if s.Netlist == "" && s.NetlistFile == "" {
+		return fmt.Errorf("jobspec: spec needs a netlist (inline or file)")
+	}
+	if s.Timeout < 0 {
+		return fmt.Errorf("jobspec: negative timeout %s", time.Duration(s.Timeout))
+	}
+	switch s.Analysis {
+	case KindTran:
+		if s.Tran == nil || s.Tran.Stop <= 0 || s.Tran.Step <= 0 {
+			return fmt.Errorf("jobspec: tran needs stop > 0 and step > 0")
+		}
+		if s.Tran.Adaptive && s.Tran.LTETol <= 0 {
+			return fmt.Errorf("jobspec: adaptive tran needs lte_tol > 0")
+		}
+	case KindSweep:
+		if s.Sweep == nil || s.Sweep.Source == "" {
+			return fmt.Errorf("jobspec: sweep needs a source")
+		}
+		if s.Sweep.Points < 2 {
+			return fmt.Errorf("jobspec: sweep needs points >= 2")
+		}
+	case KindAC:
+		if s.AC == nil || s.AC.Source == "" {
+			return fmt.Errorf("jobspec: ac needs a source")
+		}
+		if s.AC.Points < 2 || s.AC.FStart <= 0 || s.AC.FStop <= s.AC.FStart {
+			return fmt.Errorf("jobspec: ac needs 0 < fstart < fstop and points >= 2")
+		}
+	case KindAge:
+		if s.Age == nil || s.Age.Years <= 0 || s.Age.TempK <= 0 || s.Age.Checkpoints < 1 {
+			return fmt.Errorf("jobspec: age needs years > 0, temp_k > 0 and checkpoints >= 1")
+		}
+	case KindMC:
+		if s.MC == nil || s.MC.Node == "" {
+			return fmt.Errorf("jobspec: mc needs a node")
+		}
+		if s.MC.Trials < 1 {
+			return fmt.Errorf("jobspec: mc needs trials >= 1")
+		}
+		if s.MC.Lo != nil && s.MC.Hi != nil && *s.MC.Lo > *s.MC.Hi {
+			return fmt.Errorf("jobspec: mc spec lo %g above hi %g", *s.MC.Lo, *s.MC.Hi)
+		}
+	case KindCorners:
+		if s.Corners == nil || s.Corners.Node == "" {
+			return fmt.Errorf("jobspec: corners needs a node")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package jobspec
+
+import "repro/internal/variation"
+
+// Result is the structured outcome of one executed Spec — everything a
+// renderer (CLI tables/CSV) or an API client (JSON) needs, with exactly
+// one analysis-specific block populated according to Kind. All fields
+// marshal cleanly to JSON: unbounded or undefined quantities are encoded
+// by absence, never by ±Inf/NaN.
+type Result struct {
+	// Kind echoes the executed analysis.
+	Kind Kind `json:"kind"`
+	// Elapsed is the end-to-end execution wall time.
+	Elapsed Duration `json:"elapsed"`
+	// Partial marks a run cut short by cancellation or deadline; the
+	// analysis block then describes the completed portion and Warning
+	// carries the cause.
+	Partial bool   `json:"partial,omitempty"`
+	Warning string `json:"warning,omitempty"`
+
+	OP      *OPResult      `json:"op,omitempty"`
+	Series  *Series        `json:"series,omitempty"` // tran, sweep, ac
+	Age     *AgeResult     `json:"age,omitempty"`
+	MC      *MCOutcome     `json:"mc,omitempty"`
+	Corners *CornersResult `json:"corners,omitempty"`
+}
+
+// NodeVoltage is one (node, voltage) pair in report order.
+type NodeVoltage struct {
+	Node string  `json:"node"`
+	V    float64 `json:"v"`
+}
+
+// OPResult is a DC operating point: node voltages plus a per-MOSFET
+// bias summary.
+type OPResult struct {
+	Nodes   []NodeVoltage `json:"nodes"`
+	Devices []DeviceOP    `json:"devices,omitempty"`
+}
+
+// DeviceOP summarises one MOSFET's bias point.
+type DeviceOP struct {
+	Name   string  `json:"name"`
+	ID     float64 `json:"id"`
+	Gm     float64 `json:"gm"`
+	Region string  `json:"region"`
+}
+
+// Series is a rectangular sweep result (transient, DC sweep or AC): one
+// header per column, one row per abscissa point — the shape report.CSV
+// prints directly.
+type Series struct {
+	Headers []string    `json:"headers"`
+	Rows    [][]float64 `json:"rows"`
+}
+
+// AgeResult is a mission-aging trajectory plus end-of-life damage.
+type AgeResult struct {
+	// Years and TempK echo the mission (table-title metadata).
+	Years float64 `json:"years"`
+	TempK float64 `json:"temp_k"`
+	// Nodes is the recorded node order (column order for renderers, even
+	// when every checkpoint failed to converge).
+	Nodes []string `json:"nodes"`
+	// Checkpoints hold the recorded node voltages at each age; a Failed
+	// checkpoint is one where the circuit no longer converges.
+	Checkpoints []AgeCheckpoint `json:"checkpoints"`
+	// Devices lists per-device damage at end of life in sorted-name order.
+	Devices []DeviceDamage `json:"devices,omitempty"`
+}
+
+// AgeCheckpoint is one point of the trajectory.
+type AgeCheckpoint struct {
+	Time   float64       `json:"time"`
+	Failed bool          `json:"failed,omitempty"`
+	Nodes  []NodeVoltage `json:"nodes,omitempty"`
+}
+
+// DeviceDamage is one device's accumulated wear.
+type DeviceDamage struct {
+	Name           string  `json:"name"`
+	DeltaVT        float64 `json:"delta_vt"`
+	MobilityFactor float64 `json:"mobility_factor"`
+	BDMode         string  `json:"bd_mode"`
+}
+
+// MCOutcome is a Monte-Carlo mismatch distribution with its exact
+// failure accounting: Requested == len(Values) + Failures + NaNs +
+// Cancelled always holds, including on partial (cancelled) runs.
+type MCOutcome struct {
+	Node      string `json:"node"`
+	Requested int    `json:"requested"`
+	// Values holds every successful trial's metric in trial order.
+	Values    []float64 `json:"values"`
+	Failures  int       `json:"failures"`
+	NaNs      int       `json:"nans"`
+	Cancelled int       `json:"cancelled"`
+	// Elapsed is the Monte-Carlo engine's own wall time (excludes deck
+	// parsing and the nominal warm-start solve).
+	Elapsed Duration `json:"elapsed"`
+	// FailuresByKind tallies failed trials by the variation taxonomy
+	// (convergence, panic, cancelled, other).
+	FailuresByKind map[string]int `json:"failures_by_kind,omitempty"`
+	// FirstFailure is the first structured trial error, as a debugging
+	// sample.
+	FirstFailure string `json:"first_failure,omitempty"`
+	// Yield is the spec yield estimate; nil when the spec had no bounds
+	// or no trial succeeded.
+	Yield *variation.YieldEstimate `json:"yield,omitempty"`
+}
+
+// Completed returns the number of trials that ran to a verdict.
+func (m *MCOutcome) Completed() int { return len(m.Values) + m.NaNs + m.Failures }
+
+// CornersResult is a global-corner sweep of one node voltage.
+type CornersResult struct {
+	Node    string        `json:"node"`
+	Corners []CornerValue `json:"corners"`
+}
+
+// CornerValue is one corner's result.
+type CornerValue struct {
+	Name string  `json:"name"`
+	V    float64 `json:"v"`
+}

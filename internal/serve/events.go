@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// handleEvents streams a job's event log as NDJSON: one JSON-encoded
+// Event per line, flushed as produced, from the beginning of the log (or
+// ?from=<seq>) until the job reaches a terminal state or the client
+// disconnects. Because a job's terminal state and its terminal event
+// commit under one lock, the stream always ends with exactly one of
+// "done", "failed" or "cancelled".
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("from must be a non-negative integer"))
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		evs, terminal, wait := j.eventsSince(from)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return // client went away
+			}
+		}
+		from += len(evs)
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			// The snapshot was taken atomically: terminal means the final
+			// event is already in evs (or was streamed earlier).
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

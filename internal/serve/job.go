@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/jobspec"
+)
+
+// State is a job's lifecycle state. The machine is strictly forward:
+// queued → running → {done, failed, cancelled}, or queued → cancelled
+// directly when a job is cancelled before a worker picks it up.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one entry of a job's ordered event log, streamed as NDJSON by
+// GET /v1/jobs/{id}/events. Seq is dense and strictly increasing per job.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // queued | started | progress | done | failed | cancelled
+	// Stage/Done/Total carry progress samples ("trial" or "checkpoint").
+	Stage string `json:"stage,omitempty"`
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+	// Error carries the failure or cancellation cause on terminal events.
+	Error string `json:"error,omitempty"`
+}
+
+// Job is one submitted analysis tracked by the server. All mutable state
+// is guarded by mu; the event log only grows, and changed is closed and
+// replaced on every append so streamers can wait without polling.
+type Job struct {
+	ID   string
+	Spec *jobspec.Spec
+
+	mu              sync.Mutex
+	state           State
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+	result          json.RawMessage // encoded *jobspec.Result, set on finish
+	errMsg          string
+	cancelRequested bool
+	cancel          context.CancelFunc // non-nil while running
+	events          []Event
+	changed         chan struct{}
+}
+
+func newJob(id string, spec *jobspec.Spec, now time.Time) *Job {
+	j := &Job{
+		ID: id, Spec: spec,
+		state:     StateQueued,
+		submitted: now,
+		changed:   make(chan struct{}),
+	}
+	j.appendLocked(Event{Type: "queued"})
+	return j
+}
+
+// appendLocked appends an event and wakes streamers. Callers outside the
+// constructor must hold mu.
+func (j *Job) appendLocked(ev Event) {
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// addProgress records one execution progress sample as an event.
+func (j *Job) addProgress(p jobspec.Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return // late sample after cancellation already finalized the job
+	}
+	j.appendLocked(Event{Type: "progress", Stage: p.Stage, Done: p.Done, Total: p.Total})
+}
+
+// start transitions queued → running and installs the job's cancel
+// function. It returns false when the job is no longer queued (cancelled
+// while waiting), in which case the worker must skip it.
+func (j *Job) start(cancel context.CancelFunc, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = now
+	j.cancel = cancel
+	j.appendLocked(Event{Type: "started"})
+	return true
+}
+
+// requestCancel asks the job to stop. A queued job is finalized
+// immediately (the worker will skip it); a running job has its context
+// cancelled and finalizes when the engine returns with its partial
+// result. Terminal jobs are untouched. It returns true only when the job
+// was finalized right here (queued → cancelled), so callers know whether
+// to account the terminal state themselves or leave it to finish().
+func (j *Job) requestCancel(reason string) (finalized bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.errMsg = reason
+		j.appendLocked(Event{Type: "cancelled", Error: reason})
+		return true
+	case StateRunning:
+		if !j.cancelRequested {
+			j.cancelRequested = true
+			j.cancel()
+		}
+	}
+	return false
+}
+
+// finish finalizes a running job from the executor's return values. The
+// terminal state, the persisted (possibly partial) result and the final
+// event are committed under one lock acquisition, so a streamer never
+// observes a terminal state without its terminal event.
+func (j *Job) finish(res *jobspec.Result, execErr error, now time.Time) State {
+	var raw json.RawMessage
+	if res != nil {
+		b, err := json.Marshal(res)
+		if err != nil && execErr == nil {
+			execErr = fmt.Errorf("serve: result not encodable: %w", err)
+		}
+		raw = b
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = now
+	j.result = raw
+	switch {
+	case execErr != nil:
+		if j.cancelRequested {
+			j.state = StateCancelled
+		} else {
+			j.state = StateFailed
+		}
+		j.errMsg = execErr.Error()
+	case j.cancelRequested:
+		// Engine returned cleanly after cancellation: the result holds the
+		// exactly-accounted partial run.
+		j.state = StateCancelled
+		if res != nil && res.Warning != "" {
+			j.errMsg = res.Warning
+		}
+	default:
+		// Includes Partial results from the job's own timeout: the run
+		// answered with what it measured, which is a completed job.
+		j.state = StateDone
+	}
+	ev := Event{Type: string(j.state), Error: j.errMsg}
+	j.appendLocked(ev)
+	return j.state
+}
+
+// eventsSince returns a copy of the events from seq on, whether the job
+// is terminal, and a channel that closes on the next change — everything
+// a streamer needs for one race-free iteration.
+func (j *Job) eventsSince(seq int) (evs []Event, terminal bool, wait <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq < len(j.events) {
+		evs = append(evs, j.events[seq:]...)
+	}
+	return evs, j.state.Terminal(), j.changed
+}
+
+// View is the JSON representation of a job served by the API. List
+// responses omit Spec and Result; the single-job endpoint includes them.
+type View struct {
+	ID        string        `json:"id"`
+	State     State         `json:"state"`
+	Analysis  jobspec.Kind  `json:"analysis"`
+	Submitted time.Time     `json:"submitted"`
+	Started   *time.Time    `json:"started,omitempty"`
+	Finished  *time.Time    `json:"finished,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Events    int           `json:"events"`
+	Spec      *jobspec.Spec `json:"spec,omitempty"`
+	// Result is the encoded jobspec.Result (present once terminal, also
+	// for cancelled jobs that persisted a partial result).
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// view snapshots the job.
+func (j *Job) view(full bool) View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:        j.ID,
+		State:     j.state,
+		Analysis:  j.Spec.Analysis,
+		Submitted: j.submitted,
+		Error:     j.errMsg,
+		Events:    len(j.events),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if full {
+		v.Spec = j.Spec
+		v.Result = j.result
+	}
+	return v
+}
+
+// snapshot returns the fields the worker needs without racing the
+// handlers.
+func (j *Job) snapshot() (state State, submitted time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.submitted
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// errQueueFull rejects a submission when the bounded queue is at
+// capacity — the server's backpressure signal (HTTP 503 + Retry-After).
+var errQueueFull = errors.New("serve: job queue full")
+
+// errDraining rejects a submission once shutdown has begun.
+var errDraining = errors.New("serve: server is draining")
+
+// jobQueue is a bounded FIFO of accepted-but-not-yet-running jobs. The
+// buffered channel is the queue; the mutex only serializes push against
+// close so a draining server can never panic on a concurrent submit.
+type jobQueue struct {
+	mu     sync.Mutex
+	ch     chan *Job
+	closed bool
+}
+
+func newJobQueue(depth int) *jobQueue {
+	return &jobQueue{ch: make(chan *Job, depth)}
+}
+
+// tryPush enqueues without blocking: a full queue is an immediate
+// errQueueFull, which is what gives the server exact backpressure
+// accounting (a burst of capacity+k submissions yields exactly k
+// rejections).
+func (q *jobQueue) tryPush(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errDraining
+	}
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// close stops admission; workers drain whatever is already queued.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// depth returns the current number of queued jobs.
+func (q *jobQueue) depth() int { return len(q.ch) }
+
+// capacity returns the queue bound.
+func (q *jobQueue) capacity() int { return cap(q.ch) }

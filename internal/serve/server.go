@@ -1,0 +1,285 @@
+// Package serve is the long-running reliability-simulation job service —
+// the paper's §5.2 resilience loop (monitor → control → knob) presumes
+// reliability analyses run continuously as parameterized campaigns, and
+// this package turns the one-shot engines into exactly that. It exposes
+// an HTTP API over the versioned jobspec schema: submit (POST /v1/jobs),
+// poll (GET /v1/jobs/{id}), stream per-trial/per-checkpoint progress as
+// NDJSON (GET /v1/jobs/{id}/events), cancel (DELETE /v1/jobs/{id}) and
+// list (GET /v1/jobs). Behind the API sits a bounded queue with exact
+// backpressure (503 + Retry-After when full), a worker pool sized off
+// GOMAXPROCS driving jobspec.Execute with per-job cancellation, obs
+// instruments folded into the shared registry, and graceful shutdown
+// that stops admission, drains running jobs up to a deadline and
+// persists partial results. Jobs inherit the engines' fault isolation:
+// a panicking trial fails one job, never the server.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/jobspec"
+	"repro/internal/obs"
+)
+
+// ExecFunc runs one job. The default is jobspec.ExecuteOpts; tests
+// substitute controllable executors to exercise the lifecycle.
+type ExecFunc func(ctx context.Context, spec *jobspec.Spec, opts jobspec.Options) (*jobspec.Result, error)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// has a production default.
+type Config struct {
+	// QueueDepth bounds the number of accepted-but-not-running jobs
+	// (default 64). Submissions beyond it are rejected with 503.
+	QueueDepth int
+	// Workers sizes the execution pool (default GOMAXPROCS).
+	Workers int
+	// DefaultTimeout is applied to specs that carry no timeout of their
+	// own (0 = unbounded).
+	DefaultTimeout time.Duration
+	// Registry receives the serve_* instruments and is served on the
+	// job mux at /metrics, /metrics.json and /debug/vars (nil disables
+	// both).
+	Registry *obs.Registry
+	// Execute overrides the job executor (tests); nil means
+	// jobspec.ExecuteOpts.
+	Execute ExecFunc
+	// ProgressEvery forwards to jobspec.Options: emit every k-th
+	// progress sample (0 = auto, ~200 samples per job).
+	ProgressEvery int
+}
+
+// Server is the job service. Create it with NewServer — the worker pool
+// starts immediately — mount it on any listener via http.Handler, and
+// stop it with Shutdown.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	queue   *jobQueue
+	met     *metrics
+	baseCtx context.Context
+	stopAll context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	draining bool
+}
+
+// NewServer builds a server and starts its worker pool.
+func NewServer(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Execute == nil {
+		cfg.Execute = jobspec.ExecuteOpts
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		queue:   newJobQueue(cfg.QueueDepth),
+		met:     newMetrics(cfg.Registry),
+		baseCtx: ctx,
+		stopAll: cancel,
+		jobs:    make(map[string]*Job),
+	}
+	s.routes()
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	if s.cfg.Registry != nil {
+		// One listener for jobs and observability: the obs endpoints ride
+		// the job mux, so -serve needs no separate -metrics-addr.
+		h := obs.Handler(s.cfg.Registry)
+		s.mux.Handle("GET /metrics", h)
+		s.mux.Handle("GET /metrics.json", h)
+		s.mux.Handle("GET /debug/vars", h)
+		// The expvar dump only contains the registry once it is published;
+		// the fixed name makes this idempotent process-wide.
+		obs.PublishExpvar("obs", s.cfg.Registry)
+	}
+}
+
+// ServeHTTP makes the server mountable on any http.Server or test mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown gracefully stops the server: admission closes (new submits
+// get 503), workers drain queued and running jobs, and when ctx expires
+// before the drain completes every active job's context is cancelled so
+// the engines return — and the jobs persist — their partial results. It
+// returns ctx.Err() when the deadline forced the drain, nil on a clean
+// drain. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.queue.close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.stopAll() // cancel every running job; engines return partials
+		<-done
+	}
+	s.stopAll()
+	return err
+}
+
+// newID allocates the next job ID.
+func (s *Server) addJob(spec *jobspec.Spec) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j := newJob(fmt.Sprintf("job-%06d", s.nextID), spec, time.Now())
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	return j
+}
+
+func (s *Server) removeJob(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	if n := len(s.order); n > 0 && s.order[n-1] == id {
+		s.order = s.order[:n-1]
+	}
+}
+
+func (s *Server) job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// maxSpecBytes bounds a submitted spec (the netlist rides inline).
+const maxSpecBytes = 8 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec := new(jobspec.Spec)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	if spec.NetlistFile != "" {
+		writeError(w, http.StatusBadRequest,
+			errors.New("the job server accepts inline netlists only (set \"netlist\", not \"netlist_file\")"))
+		return
+	}
+	spec.ApplyDefaults()
+	if s.cfg.DefaultTimeout > 0 && spec.Timeout == 0 {
+		spec.Timeout = jobspec.Duration(s.cfg.DefaultTimeout)
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j := s.addJob(spec)
+	if err := s.queue.tryPush(j); err != nil {
+		s.removeJob(j.ID)
+		s.met.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.met.submitted.Inc()
+	s.met.kindCounter(spec.Analysis).Inc()
+	s.met.depth.Set(float64(s.queue.depth()))
+	writeJSON(w, http.StatusAccepted, j.view(false))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	views := make([]View, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.view(false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view(true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	if j.requestCancel("cancelled by client") {
+		s.met.finished(StateCancelled)
+	}
+	writeJSON(w, http.StatusOK, j.view(true))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	total := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"draining":    draining,
+		"jobs":        total,
+		"queue_depth": s.queue.depth(),
+		"queue_cap":   s.queue.capacity(),
+		"inflight":    int(s.met.inflight.Value()),
+		"workers":     s.cfg.Workers,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

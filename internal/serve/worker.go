@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/jobspec"
+	"repro/internal/variation"
+)
+
+// worker is one execution loop of the pool: it pops jobs off the bounded
+// queue until the queue closes (shutdown), running each under a per-job
+// context derived from the server's base context so both a client DELETE
+// and a drain deadline cancel it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue.ch {
+		s.met.depth.Set(float64(s.queue.depth()))
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end. Panics anywhere in the execution
+// path are recovered here and fail the one job with the same structured
+// PanicError the trial engines use — a pathological spec can never take
+// down the server.
+func (s *Server) runJob(j *Job) {
+	if s.baseCtx.Err() != nil {
+		// Drain deadline passed while this job sat in the queue.
+		if j.requestCancel("server shut down before the job started") {
+			s.met.finished(StateCancelled)
+		}
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.start(cancel, time.Now()) {
+		return // cancelled while queued; already finalized and counted
+	}
+	_, submitted := j.snapshot()
+	s.met.waitSecs.Observe(time.Since(submitted).Seconds())
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	var (
+		res *jobspec.Result
+		err error
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serve: job panicked: %w",
+					&variation.PanicError{Value: r, Stack: debug.Stack()})
+			}
+		}()
+		res, err = s.cfg.Execute(ctx, j.Spec, jobspec.Options{
+			OnProgress:    j.addProgress,
+			ProgressEvery: s.cfg.ProgressEvery,
+		})
+	}()
+	st := j.finish(res, err, time.Now())
+	s.met.finished(st)
+	s.met.jobSecs.Observe(time.Since(submitted).Seconds())
+}

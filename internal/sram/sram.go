@@ -8,6 +8,7 @@
 package sram
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -251,7 +252,7 @@ func StabilityYield(cfg CellConfig, limit float64, nCells, points int, seed uint
 	if nCells <= 0 {
 		return variation.YieldEstimate{}, fmt.Errorf("sram: need at least one cell")
 	}
-	res, err := variation.MonteCarlo(nCells, seed, func(rng *mathx.RNG, _ int) (float64, error) {
+	res, err := variation.MonteCarloCtx(context.Background(), nCells, seed, func(rng *mathx.RNG, _ int) (float64, error) {
 		cell, err := NewCell(cfg)
 		if err != nil {
 			return 0, err

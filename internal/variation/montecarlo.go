@@ -67,20 +67,22 @@ func (r *MCResult) Completed() int { return len(r.Values) + r.NaNs + r.Failures 
 // ErrorsByKind tallies the structured failures by taxonomy kind.
 func (r *MCResult) ErrorsByKind() map[FailureKind]int { return CountByKind(r.Errors) }
 
-// MonteCarlo runs n trials with the given seed. Trials execute in parallel
-// but every trial's RNG stream depends only on (seed, index), so results
-// are bit-identical regardless of GOMAXPROCS. Trial errors and panics are
-// tolerated and accounted (see MCResult); n <= 0 is an error.
+// MonteCarlo is MonteCarloCtx with context.Background().
+//
+// Deprecated: call MonteCarloCtx so the run can be cancelled or bounded
+// by a deadline; this wrapper remains for source compatibility only.
 func MonteCarlo(n int, seed uint64, trial Trial) (*MCResult, error) {
 	return MonteCarloCtx(context.Background(), n, seed, trial)
 }
 
-// MonteCarloCtx is MonteCarlo under a context. A panicking trial is
-// recovered inside its worker and recorded as a structured *TrialError
-// instead of crashing the process. When ctx is cancelled the dispatcher
-// stops handing out work, the workers drain, and the partial result is
-// returned with accurate Failures/NaNs/Cancelled counts alongside an
-// error wrapping ErrCancelled.
+// MonteCarloCtx runs n trials with the given seed. Trials execute in
+// parallel but every trial's RNG stream depends only on (seed, index), so
+// results are bit-identical regardless of GOMAXPROCS; n <= 0 is an error.
+// A panicking trial is recovered inside its worker and recorded as a
+// structured *TrialError instead of crashing the process. When ctx is
+// cancelled the dispatcher stops handing out work, the workers drain, and
+// the partial result is returned with accurate Failures/NaNs/Cancelled
+// counts alongside an error wrapping ErrCancelled.
 func MonteCarloCtx(ctx context.Context, n int, seed uint64, trial Trial) (*MCResult, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("variation: MonteCarlo needs n > 0, got %d", n)
