@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet doccheck build test race race-fault race-serve bench-smoke bench bench-solver
+.PHONY: ci vet doccheck build test race race-fault race-serve race-store bench-smoke bench bench-solver
 
-ci: vet doccheck build race race-fault race-serve bench-smoke
+ci: vet doccheck build race race-fault race-serve race-store bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,13 @@ race-fault:
 # accounting, and the graceful drain.
 race-serve:
 	$(GO) test -race -count=2 ./internal/serve/ ./internal/jobspec/
+
+# Durability under the race detector: journal replay and compaction,
+# crash-recovery classification (done/queued/interrupted), the spec-
+# keyed result cache across restarts, and the retention policy that
+# bounds memory and disk.
+race-store:
+	$(GO) test -race -count=2 -run 'Store|Crash|Recover|Cache|Retention|Evict|RetryAfter|Interrupted|Seed|Hash' ./internal/store/ ./internal/serve/ ./internal/jobspec/
 
 # One iteration of every benchmark: catches harness rot without the cost
 # of a full measurement run.

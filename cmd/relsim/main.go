@@ -40,6 +40,18 @@
 //	relsim -serve :8080 -queue 64 -workers 8 -timeout 5m -drain 30s
 //	curl -s localhost:8080/v1/jobs -d '{"analysis":"mc","netlist":"...","mc":{"trials":1000,"node":"out"}}'
 //
+// Durability: -data-dir journals job lifecycles and snapshots terminal
+// results, so a restarted server serves previously completed results
+// without recomputation, re-runs jobs that were still queued, and fails
+// jobs that died mid-run with a structured interrupted error. It also
+// enables the spec-keyed result cache: resubmitting a byte-equivalent
+// spec (after defaulting) returns a completed job immediately; a spec
+// can opt out with "no_cache": true. -keep-jobs / -keep-age bound the
+// retained terminal jobs in memory and on disk (the journal is
+// compacted as evictions accumulate):
+//
+//	relsim -serve :8080 -data-dir /var/lib/relsim -keep-jobs 512 -keep-age 24h
+//
 // Observability: -progress streams one instrument snapshot line per second
 // to stderr (trial count and latency quantiles, Newton iterations, aging
 // checkpoints), and -metrics-addr serves the full instrument registry over
@@ -109,11 +121,14 @@ func main() {
 		queue     = flag.Int("queue", 64, "serve: bounded job-queue depth (backpressure beyond it)")
 		workers   = flag.Int("workers", 0, "serve: worker pool size (0 = GOMAXPROCS)")
 		drain     = flag.Duration("drain", 30*time.Second, "serve: graceful-shutdown drain budget for running jobs")
+		dataDir   = flag.String("data-dir", "", "serve: journal jobs and results here; restart recovers them and enables the spec-keyed result cache")
+		keepJobs  = flag.Int("keep-jobs", 512, "serve: max retained terminal jobs (oldest evicted first; negative = unbounded)")
+		keepAge   = flag.Duration("keep-age", 0, "serve: evict terminal jobs older than this (0 = no age bound)")
 	)
 	flag.Parse()
 
 	if *serveAddr != "" {
-		runServe(*serveAddr, *queue, *workers, *timeout, *drain, *metrics, *progress)
+		runServe(*serveAddr, *queue, *workers, *timeout, *drain, *metrics, *progress, *dataDir, *keepJobs, *keepAge)
 		return
 	}
 	if *netFile == "" {

@@ -13,22 +13,55 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // runServe runs relsim as a long-running job service: the internal/serve
 // API and the observability endpoints share one listener, per-job
 // defaults come from the same flags the one-shot mode uses, and SIGINT/
 // SIGTERM trigger a graceful drain in which running jobs persist partial
-// results.
-func runServe(addr string, queueDepth, workers int, defaultTimeout, drain time.Duration, metricsAddr string, progress bool) {
+// results. With -data-dir the server is durable: job lifecycles are
+// journaled, terminal results snapshotted, identical resubmissions
+// answered from the spec-keyed cache, and a restart against the same
+// directory restores the previous campaign (terminal jobs served as-is,
+// queued jobs re-run, interrupted jobs failed with a structured cause).
+func runServe(addr string, queueDepth, workers int, defaultTimeout, drain time.Duration, metricsAddr string, progress bool, dataDir string, keepJobs int, keepAge time.Duration) {
 	reg := obs.NewRegistry()
 	core.EnableMetrics(reg)
 
+	var st *store.Store
+	if dataDir != "" {
+		var err error
+		st, err = store.Open(dataDir, reg, store.Options{})
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		defer st.Close()
+		if rec := st.Recovered(); len(rec) > 0 {
+			var terminal, queued, interrupted int
+			for _, r := range rec {
+				switch r.State {
+				case store.StateQueued:
+					queued++
+				case store.StateInterrupted:
+					interrupted++
+				default:
+					terminal++
+				}
+			}
+			log.Printf("recovered %d job(s) from %s: %d terminal, %d re-queued, %d interrupted",
+				len(rec), dataDir, terminal, queued, interrupted)
+		}
+	}
+
 	srv := serve.NewServer(serve.Config{
-		QueueDepth:     queueDepth,
-		Workers:        workers,
-		DefaultTimeout: defaultTimeout,
-		Registry:       reg,
+		QueueDepth:      queueDepth,
+		Workers:         workers,
+		DefaultTimeout:  defaultTimeout,
+		Registry:        reg,
+		Store:           st,
+		MaxTerminalJobs: keepJobs,
+		MaxTerminalAge:  keepAge,
 	})
 
 	// Listen synchronously so a bad address or busy port is a startup

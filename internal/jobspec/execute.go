@@ -124,7 +124,7 @@ func ExecuteOpts(ctx context.Context, spec *Spec, opts Options) (*Result, error)
 	}
 
 	start := time.Now()
-	res := &Result{Kind: spec.Analysis}
+	res := &Result{Kind: spec.Analysis, Seed: spec.Seed}
 	switch spec.Analysis {
 	case KindOP:
 		err = executeOP(deck, spec, res)

@@ -1,0 +1,89 @@
+package jobspec
+
+import (
+	"context"
+	"testing"
+)
+
+func TestCanonicalHash(t *testing.T) {
+	base := func() *Spec {
+		s := &Spec{Analysis: KindMC, Netlist: inverterDeck, Seed: 3,
+			MC: &MCParams{Trials: 10, Node: "out"}}
+		s.ApplyDefaults()
+		return s
+	}
+	a, b := base(), base()
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatal("identical specs hash differently")
+	}
+	if h := a.CanonicalHash(); len(h) != 64 {
+		t.Errorf("hash %q is not hex SHA-256", h)
+	}
+
+	// Any analysis-relevant field change moves the hash.
+	seed := base()
+	seed.Seed = 4
+	if seed.CanonicalHash() == a.CanonicalHash() {
+		t.Error("seed change did not change the hash")
+	}
+	deck := base()
+	deck.Netlist += "\n* trailing comment"
+	if deck.CanonicalHash() == a.CanonicalHash() {
+		t.Error("netlist change did not change the hash")
+	}
+	trials := base()
+	trials.MC.Trials = 11
+	if trials.CanonicalHash() == a.CanonicalHash() {
+		t.Error("trial-count change did not change the hash")
+	}
+
+	// no_cache is a delivery preference, not an input: it is excluded so
+	// an opted-out run still produces the entry an opted-in resubmission
+	// of the same work would look up.
+	opted := base()
+	opted.NoCache = true
+	if opted.CanonicalHash() != a.CanonicalHash() {
+		t.Error("no_cache leaked into the canonical hash")
+	}
+
+	// A sparse spec after defaulting is the same work as the explicit
+	// form, so the two must collide on purpose.
+	sparse := &Spec{Analysis: KindMC, Netlist: inverterDeck,
+		MC: &MCParams{Trials: 10, Node: "out"}}
+	sparse.ApplyDefaults()
+	explicit := base()
+	explicit.Seed = 1
+	if sparse.CanonicalHash() != explicit.CanonicalHash() {
+		t.Error("defaults-applied sparse spec does not hash like its explicit equivalent")
+	}
+}
+
+func TestResultEchoesEffectiveSeed(t *testing.T) {
+	// A sparse spec leaves Seed 0; ApplyDefaults rewrites it to 1 and the
+	// result must echo that effective value, or a client could never
+	// learn what to resubmit for a reproducible re-run.
+	spec := &Spec{Analysis: KindMC, Netlist: inverterDeck,
+		MC: &MCParams{Trials: 4, Node: "out"}}
+	spec.ApplyDefaults()
+	if spec.Seed != 1 {
+		t.Fatalf("ApplyDefaults seed = %d, want 1", spec.Seed)
+	}
+	res, err := Execute(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seed != 1 {
+		t.Errorf("result seed = %d, want the effective 1", res.Seed)
+	}
+
+	expl := &Spec{Analysis: KindMC, Netlist: inverterDeck, Seed: 42,
+		MC: &MCParams{Trials: 4, Node: "out"}}
+	expl.ApplyDefaults()
+	res2, err := Execute(context.Background(), expl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Seed != 42 {
+		t.Errorf("result seed = %d, want the explicit 42", res2.Seed)
+	}
+}

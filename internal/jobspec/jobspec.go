@@ -12,6 +12,8 @@
 package jobspec
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -97,8 +99,17 @@ type Spec struct {
 	// Record lists the nodes to report (empty = analysis-specific default,
 	// usually every node).
 	Record []string `json:"record,omitempty"`
-	// Seed fixes the RNG for mc and age.
+	// Seed fixes the RNG for mc and age. A sparse document may omit it
+	// (or carry 0): ApplyDefaults rewrites 0 to 1, so an unseeded
+	// submission is deterministic rather than irreproducible. The seed a
+	// run actually used is echoed back in Result.Seed, so a client that
+	// submitted without an explicit seed can still reproduce the run.
 	Seed uint64 `json:"seed,omitempty"`
+	// NoCache opts this submission out of the server's spec-keyed result
+	// cache: it is neither answered from the cache nor entered into it.
+	// The field is excluded from CanonicalHash, so a no_cache run of a
+	// spec does not perturb the cache key of its cacheable twin.
+	NoCache bool `json:"no_cache,omitempty"`
 	// Timeout bounds the analysis wall clock; on expiry mc and age report
 	// the completed portion as a partial result. 0 = unbounded.
 	Timeout Duration `json:"timeout,omitempty"`
@@ -272,6 +283,28 @@ func (s *Spec) ApplyDefaults() {
 			s.Corners.SigmaBeta = 0.08
 		}
 	}
+}
+
+// CanonicalHash returns the spec's content address: the hex SHA-256 of
+// its canonical JSON encoding with the cache-control field (NoCache)
+// cleared. Everything that influences an execution's outcome — version,
+// analysis kind, netlist text, record list, seed, timeout and the
+// parameter blocks — is part of the hash; two specs with equal hashes
+// describe the same deterministic computation, which is what makes the
+// hash usable as a result-cache key. Call ApplyDefaults first so that a
+// sparse document and its fully-explicit twin hash identically.
+func (s *Spec) CanonicalHash() string {
+	c := *s
+	c.NoCache = false
+	// Spec marshals deterministically: fixed struct field order, no maps,
+	// and Duration's string form. Marshal cannot fail on this shape.
+	b, err := json.Marshal(&c)
+	if err != nil {
+		// Unreachable for a Spec, but never let a hash collide on error.
+		return "unhashable:" + err.Error()
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // Validate checks the spec for executability. It does not parse the

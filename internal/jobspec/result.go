@@ -10,6 +10,11 @@ import "repro/internal/variation"
 type Result struct {
 	// Kind echoes the executed analysis.
 	Kind Kind `json:"kind"`
+	// Seed echoes the RNG seed the run actually used (meaningful for mc
+	// and age). ApplyDefaults rewrites an unset seed to 1, so this is how
+	// a client that submitted a sparse spec learns the value it must
+	// resubmit to reproduce the run.
+	Seed uint64 `json:"seed,omitempty"`
 	// Elapsed is the end-to-end execution wall time.
 	Elapsed Duration `json:"elapsed"`
 	// Partial marks a run cut short by cancellation or deadline; the

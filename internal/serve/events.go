@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 )
@@ -24,6 +25,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 0 {
 			writeError(w, http.StatusBadRequest, errors.New("from must be a non-negative integer"))
+			return
+		}
+		// Explicit bounds check: a resume point past the end of the log
+		// names events that do not exist. from == len(events) is the
+		// legitimate "everything so far seen" resume (it waits on a live
+		// job and ends immediately on a terminal one); anything beyond is
+		// a client bug rejected deterministically instead of leaning on
+		// slice semantics.
+		if n > j.eventCount() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("from=%d is beyond the end of the event log (%d events)", n, j.eventCount()))
 			return
 		}
 		from = n

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/jobspec"
+	"repro/internal/store"
 )
 
 // State is a job's lifecycle state. The machine is strictly forward:
@@ -47,6 +48,9 @@ type Event struct {
 type Job struct {
 	ID   string
 	Spec *jobspec.Spec
+	// specHash is the canonical content address of Spec, computed once at
+	// admission; it keys the store's result cache.
+	specHash string
 
 	mu              sync.Mutex
 	state           State
@@ -55,20 +59,80 @@ type Job struct {
 	finished        time.Time
 	result          json.RawMessage // encoded *jobspec.Result, set on finish
 	errMsg          string
+	partial         bool // result was cut short (never cached)
+	cached          bool // result served from the spec-hash cache
 	cancelRequested bool
 	cancel          context.CancelFunc // non-nil while running
 	events          []Event
 	changed         chan struct{}
 }
 
-func newJob(id string, spec *jobspec.Spec, now time.Time) *Job {
+func newJob(id string, spec *jobspec.Spec, hash string, now time.Time) *Job {
 	j := &Job{
-		ID: id, Spec: spec,
+		ID: id, Spec: spec, specHash: hash,
 		state:     StateQueued,
 		submitted: now,
 		changed:   make(chan struct{}),
 	}
 	j.appendLocked(Event{Type: "queued"})
+	return j
+}
+
+// newCachedJob builds a job that is born terminal: its result is the
+// byte-identical snapshot of an earlier run with the same canonical
+// spec hash, so it never touches the queue or the worker pool.
+func newCachedJob(id string, spec *jobspec.Spec, hash string, result json.RawMessage, now time.Time) *Job {
+	j := &Job{
+		ID: id, Spec: spec, specHash: hash,
+		state:     StateDone,
+		submitted: now,
+		finished:  now,
+		result:    result,
+		cached:    true,
+		changed:   make(chan struct{}),
+	}
+	j.appendLocked(Event{Type: "queued"})
+	j.appendLocked(Event{Type: "done"})
+	return j
+}
+
+// restoredJob rebuilds a Job from its journaled lifecycle after a
+// restart. Per-trial progress events are not journaled, so the restored
+// job carries a condensed event log of its lifecycle transitions. A job
+// that was running when the previous process died is finalized as
+// failed with a structured InterruptedError, keeping whatever partial
+// result snapshot reached the disk.
+func restoredJob(r store.RecoveredJob, now time.Time) *Job {
+	j := &Job{
+		ID: r.ID, Spec: r.Spec, specHash: r.Hash,
+		state:     StateQueued,
+		submitted: r.Submitted,
+		changed:   make(chan struct{}),
+	}
+	j.appendLocked(Event{Type: "queued"})
+	switch r.State {
+	case store.StateQueued:
+		// Stays queued; the server re-enqueues it behind the workers.
+	case store.StateInterrupted:
+		j.state = StateFailed
+		j.started = r.Started
+		j.finished = now
+		j.errMsg = (&store.InterruptedError{JobID: r.ID, Started: r.Started}).Error()
+		j.result = r.Result
+		j.partial = true
+		j.appendLocked(Event{Type: "started"})
+		j.appendLocked(Event{Type: "failed", Error: j.errMsg})
+	default: // done | failed | cancelled
+		j.state = State(r.State)
+		j.started = r.Started
+		j.finished = r.Finished
+		j.errMsg = r.Error
+		j.result = r.Result
+		if !r.Started.IsZero() {
+			j.appendLocked(Event{Type: "started"})
+		}
+		j.appendLocked(Event{Type: string(j.state), Error: j.errMsg})
+	}
 	return j
 }
 
@@ -149,6 +213,7 @@ func (j *Job) finish(res *jobspec.Result, execErr error, now time.Time) State {
 	defer j.mu.Unlock()
 	j.finished = now
 	j.result = raw
+	j.partial = res != nil && res.Partial
 	switch {
 	case execErr != nil:
 		if j.cancelRequested {
@@ -174,6 +239,34 @@ func (j *Job) finish(res *jobspec.Result, execErr error, now time.Time) State {
 	return j.state
 }
 
+// eventCount returns the current length of the event log.
+func (j *Job) eventCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}
+
+// terminalInfo returns the job's state and finished time — what the
+// retention policy needs to pick eviction candidates.
+func (j *Job) terminalInfo() (State, time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.finished
+}
+
+// terminalSnapshot returns everything the store needs to journal a
+// terminal transition: the state, the failure cause, the encoded result
+// and whether the result may enter the spec-hash cache. Only a complete
+// (non-partial) result of a cache-participating spec that was actually
+// computed here — not itself served from the cache — is cacheable.
+func (j *Job) terminalSnapshot() (st State, errMsg string, raw json.RawMessage, cacheable bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cacheable = j.state == StateDone && j.result != nil &&
+		!j.partial && !j.cached && !j.Spec.NoCache
+	return j.state, j.errMsg, j.result, cacheable
+}
+
 // eventsSince returns a copy of the events from seq on, whether the job
 // is terminal, and a channel that closes on the next change — everything
 // a streamer needs for one race-free iteration.
@@ -189,15 +282,18 @@ func (j *Job) eventsSince(seq int) (evs []Event, terminal bool, wait <-chan stru
 // View is the JSON representation of a job served by the API. List
 // responses omit Spec and Result; the single-job endpoint includes them.
 type View struct {
-	ID        string        `json:"id"`
-	State     State         `json:"state"`
-	Analysis  jobspec.Kind  `json:"analysis"`
-	Submitted time.Time     `json:"submitted"`
-	Started   *time.Time    `json:"started,omitempty"`
-	Finished  *time.Time    `json:"finished,omitempty"`
-	Error     string        `json:"error,omitempty"`
-	Events    int           `json:"events"`
-	Spec      *jobspec.Spec `json:"spec,omitempty"`
+	ID        string       `json:"id"`
+	State     State        `json:"state"`
+	Analysis  jobspec.Kind `json:"analysis"`
+	Submitted time.Time    `json:"submitted"`
+	Started   *time.Time   `json:"started,omitempty"`
+	Finished  *time.Time   `json:"finished,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	Events    int          `json:"events"`
+	// Cached marks a job answered from the spec-keyed result cache
+	// instead of being executed.
+	Cached bool          `json:"cached,omitempty"`
+	Spec   *jobspec.Spec `json:"spec,omitempty"`
 	// Result is the encoded jobspec.Result (present once terminal, also
 	// for cancelled jobs that persisted a partial result).
 	Result json.RawMessage `json:"result,omitempty"`
@@ -214,6 +310,7 @@ func (j *Job) view(full bool) View {
 		Submitted: j.submitted,
 		Error:     j.errMsg,
 		Events:    len(j.events),
+		Cached:    j.cached,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -313,10 +313,14 @@ func TestQueueFullExactRejections(t *testing.T) {
 	started := make(chan string, workers+depth+burst)
 	release := make(chan struct{})
 	reg := obs.NewRegistry()
-	_, ts := newTestServer(t, Config{
+	s, ts := newTestServer(t, Config{
 		QueueDepth: depth, Workers: workers, Registry: reg,
 		Execute: blockingExec(started, release),
 	})
+	// Seed the smoothed job-duration estimate so the Retry-After hint is
+	// a deterministic function of the backlog: with avg 8 s jobs, depth 3
+	// and 2 workers a rejected client waits ceil((3+1)*8/2) = 16 s.
+	s.observeJobDuration(8 * time.Second)
 
 	// Fill the workers first so the queue occupancy is deterministic.
 	var accepted []string
@@ -349,9 +353,20 @@ func TestQueueFullExactRejections(t *testing.T) {
 		if resp.StatusCode != http.StatusServiceUnavailable {
 			t.Fatalf("burst submit %d: status %d, want 503", i, resp.StatusCode)
 		}
-		if resp.Header.Get("Retry-After") == "" {
-			t.Error("503 without Retry-After")
+		if got := resp.Header.Get("Retry-After"); got != "16" {
+			t.Errorf("Retry-After = %q, want the load-derived 16", got)
 		}
+	}
+	// The hint tracks load: folding a slower job into the estimate
+	// (EWMA 0.7*8 + 0.3*16 = 10.4 s) raises the same-backlog hint to
+	// ceil(4*10.4/2) = 21.
+	s.observeJobDuration(16 * time.Second)
+	respSlow, _ := submit(t, ts, mcSpec(10))
+	if respSlow.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-EWMA submit: status %d, want 503", respSlow.StatusCode)
+	}
+	if got := respSlow.Header.Get("Retry-After"); got != "21" {
+		t.Errorf("Retry-After after slower jobs = %q, want 21 (> 16: hint must scale with load)", got)
 	}
 
 	close(release)
@@ -362,8 +377,8 @@ func TestQueueFullExactRejections(t *testing.T) {
 	}
 
 	snap := reg.Snapshot()
-	if n, _ := snap.Counter("serve_jobs_rejected_total"); n != burst {
-		t.Errorf("serve_jobs_rejected_total = %d, want %d", n, burst)
+	if n, _ := snap.Counter("serve_jobs_rejected_total"); n != burst+1 {
+		t.Errorf("serve_jobs_rejected_total = %d, want %d", n, burst+1)
 	}
 	if n, _ := snap.Counter("serve_jobs_submitted_total"); n != workers+depth {
 		t.Errorf("serve_jobs_submitted_total = %d, want %d", n, workers+depth)

@@ -19,13 +19,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/jobspec"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // ExecFunc runs one job. The default is jobspec.ExecuteOpts; tests
@@ -53,6 +56,23 @@ type Config struct {
 	// ProgressEvery forwards to jobspec.Options: emit every k-th
 	// progress sample (0 = auto, ~200 samples per job).
 	ProgressEvery int
+	// Store persists job lifecycles and results to disk and provides the
+	// spec-keyed result cache (nil = in-memory only, no cache). Jobs
+	// recovered by store.Open are restored by NewServer: terminal jobs
+	// are served without recomputation, queued jobs are re-enqueued, and
+	// jobs interrupted mid-run are failed with a structured
+	// InterruptedError.
+	Store *store.Store
+	// MaxTerminalJobs bounds the retained terminal jobs (default 512,
+	// negative = unbounded); the oldest are evicted first. Queued and
+	// running jobs are never evicted. This is what keeps a long-running
+	// server's memory — and, with a Store, its disk journal — flat under
+	// sustained traffic.
+	MaxTerminalJobs int
+	// MaxTerminalAge evicts terminal jobs older than this (0 = no age
+	// bound). Age is measured from the job's finish time and enforced on
+	// admission and job completion.
+	MaxTerminalAge time.Duration
 }
 
 // Server is the job service. Create it with NewServer — the worker pool
@@ -72,9 +92,15 @@ type Server struct {
 	order    []string
 	nextID   int
 	draining bool
+
+	// durMu guards durEWMA, the smoothed execution time (seconds) of
+	// recently finished jobs, which load-scales the Retry-After hint.
+	durMu   sync.Mutex
+	durEWMA float64
 }
 
-// NewServer builds a server and starts its worker pool.
+// NewServer builds a server, restores any jobs recovered by the
+// configured store, and starts its worker pool.
 func NewServer(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
@@ -85,22 +111,82 @@ func NewServer(cfg Config) *Server {
 	if cfg.Execute == nil {
 		cfg.Execute = jobspec.ExecuteOpts
 	}
+	if cfg.MaxTerminalJobs == 0 {
+		cfg.MaxTerminalJobs = 512
+	}
+	var recovered []store.RecoveredJob
+	if cfg.Store != nil {
+		recovered = cfg.Store.Recovered()
+	}
+	// A restart may hand back more queued jobs than the configured depth;
+	// the queue grows to fit them so recovery never drops accepted work.
+	// Admission backpressure still kicks in at the same occupancy.
+	depth := cfg.QueueDepth
+	if n := countRecoveredQueued(recovered); n > depth {
+		depth = n
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
-		queue:   newJobQueue(cfg.QueueDepth),
+		queue:   newJobQueue(depth),
 		met:     newMetrics(cfg.Registry),
 		baseCtx: ctx,
 		stopAll: cancel,
 		jobs:    make(map[string]*Job),
 	}
 	s.routes()
+	s.restore(recovered)
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+func countRecoveredQueued(recovered []store.RecoveredJob) int {
+	n := 0
+	for _, r := range recovered {
+		if r.State == store.StateQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// restore rebuilds the job table from the store's replayed journal,
+// before the worker pool starts: terminal jobs are served as-is (their
+// persisted results byte-identical), queued jobs go back on the queue,
+// and jobs that died mid-run are finalized as failed with a structured
+// InterruptedError — a new transition in this process, so it is counted
+// and journaled, and the next restart replays it as plain failed.
+func (s *Server) restore(recovered []store.RecoveredJob) {
+	now := time.Now()
+	for _, r := range recovered {
+		j := restoredJob(r, now)
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		var n int
+		if _, err := fmt.Sscanf(r.ID, "job-%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		switch r.State {
+		case store.StateQueued:
+			if err := s.queue.tryPush(j); err != nil {
+				// Unreachable — the queue was sized to fit — but a dropped
+				// job must still reach a terminal state.
+				if j.requestCancel("recovered queued job dropped: " + err.Error()) {
+					s.met.finished(StateCancelled)
+					s.persistTerminal(j)
+				}
+			}
+		case store.StateInterrupted:
+			s.met.finished(StateFailed)
+			s.persistTerminal(j)
+		}
+	}
+	s.met.depth.Set(float64(s.queue.depth()))
+	s.enforceRetention(now)
 }
 
 func (s *Server) routes() {
@@ -156,12 +242,28 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// newID allocates the next job ID.
-func (s *Server) addJob(spec *jobspec.Spec) *Job {
+// addJob allocates the next job ID and tracks the new queued job.
+func (s *Server) addJob(spec *jobspec.Spec, hash string) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	j := newJob(fmt.Sprintf("job-%06d", s.nextID), spec, time.Now())
+	j := newJob(fmt.Sprintf("job-%06d", s.nextID), spec, hash, time.Now())
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	return j
+}
+
+// addCachedJob tracks a job born terminal from a cache hit. It returns
+// nil while draining, so the caller falls through to the queue push and
+// its canonical "draining" rejection.
+func (s *Server) addCachedJob(spec *jobspec.Spec, hash string, result json.RawMessage) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil
+	}
+	s.nextID++
+	j := newCachedJob(fmt.Sprintf("job-%06d", s.nextID), spec, hash, result, time.Now())
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	return j
@@ -170,10 +272,141 @@ func (s *Server) addJob(spec *jobspec.Spec) *Job {
 func (s *Server) removeJob(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.jobs, id)
-	if n := len(s.order); n > 0 && s.order[n-1] == id {
-		s.order = s.order[:n-1]
+	if _, ok := s.jobs[id]; !ok {
+		return
 	}
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// persistTerminal journals a job's terminal transition (and, when the
+// result is a complete cacheable computation, enters it into the
+// spec-hash cache). Store write failures are counted, not fatal: the
+// job's in-memory state is already committed and still serveable.
+func (s *Server) persistTerminal(j *Job) {
+	st := s.cfg.Store
+	if st == nil {
+		return
+	}
+	state, errMsg, raw, cacheable := j.terminalSnapshot()
+	s.storeErr(st.JobTerminal(j.ID, string(state), errMsg, raw, cacheable, time.Now()))
+}
+
+// storeErr counts a store write failure (nil is a no-op).
+func (s *Server) storeErr(err error) {
+	if err != nil {
+		s.met.storeErrors.Inc()
+	}
+}
+
+// enforceRetention applies the terminal-job retention policy: at most
+// MaxTerminalJobs retained terminal jobs (oldest submitted evicted
+// first) and none finished longer than MaxTerminalAge ago. Queued and
+// running jobs are never evicted. Evictions propagate to the store,
+// where journal compaction reclaims the disk — the in-memory map and
+// the journal enforce one consistent bound. This is the fix for the
+// unbounded retention leak: without it every terminal job (spec, event
+// log, result) lived for the life of the process.
+func (s *Server) enforceRetention(now time.Time) {
+	maxN := s.cfg.MaxTerminalJobs
+	maxAge := s.cfg.MaxTerminalAge
+	if maxN < 0 && maxAge <= 0 {
+		return
+	}
+	s.mu.Lock()
+	type term struct {
+		id       string
+		finished time.Time
+	}
+	var terminal []term
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		if st, fin := j.terminalInfo(); st.Terminal() {
+			terminal = append(terminal, term{id, fin})
+		}
+	}
+	over := 0
+	if maxN >= 0 {
+		over = len(terminal) - maxN
+	}
+	var drop []string
+	for i, t := range terminal {
+		evict := i < over
+		if !evict && maxAge > 0 && !t.finished.IsZero() && now.Sub(t.finished) > maxAge {
+			evict = true
+		}
+		if evict {
+			drop = append(drop, t.id)
+		}
+	}
+	if len(drop) > 0 {
+		dropSet := make(map[string]bool, len(drop))
+		for _, id := range drop {
+			dropSet[id] = true
+			delete(s.jobs, id)
+		}
+		live := s.order[:0]
+		for _, id := range s.order {
+			if !dropSet[id] {
+				live = append(live, id)
+			}
+		}
+		s.order = live
+	}
+	s.mu.Unlock()
+	if len(drop) == 0 {
+		return
+	}
+	s.met.evicted.Add(int64(len(drop)))
+	if st := s.cfg.Store; st != nil {
+		s.storeErr(st.Evict(drop, now))
+	}
+}
+
+// retryAfter derives the backpressure hint from load: the queued work
+// ahead of a retrying client, spread over the worker pool, at the
+// smoothed recent job duration. Clamped to [1, 300] s so a cold server
+// still answers "1" and a pathological backlog cannot park clients for
+// hours.
+func retryAfter(depth, workers int, avgSec float64) int {
+	if workers < 1 {
+		workers = 1
+	}
+	est := math.Ceil(float64(depth+1) * avgSec / float64(workers))
+	switch {
+	case est < 1:
+		return 1
+	case est > 300:
+		return 300
+	}
+	return int(est)
+}
+
+func (s *Server) retryAfterHint() int {
+	s.durMu.Lock()
+	avg := s.durEWMA
+	s.durMu.Unlock()
+	return retryAfter(s.queue.depth(), s.cfg.Workers, avg)
+}
+
+// observeJobDuration folds one finished job's execution time into the
+// smoothed estimate behind Retry-After.
+func (s *Server) observeJobDuration(d time.Duration) {
+	s.durMu.Lock()
+	if sec := d.Seconds(); s.durEWMA == 0 {
+		s.durEWMA = sec
+	} else {
+		s.durEWMA = 0.7*s.durEWMA + 0.3*sec
+	}
+	s.durMu.Unlock()
 }
 
 func (s *Server) job(id string) *Job {
@@ -206,26 +439,58 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j := s.addJob(spec)
+	hash := spec.CanonicalHash()
+	// Spec-keyed result cache: every analysis is a pure function of the
+	// defaults-applied (Spec, Seed), so an identical resubmission is
+	// answered with the persisted snapshot — byte-identical, no queue
+	// slot, no recomputation — as a job born terminal (200, not 202).
+	if st := s.cfg.Store; st != nil && !spec.NoCache {
+		if _, raw, ok := st.CachedResult(hash); ok {
+			if j := s.addCachedJob(spec, hash, raw); j != nil {
+				s.met.submitted.Inc()
+				s.met.kindCounter(spec.Analysis).Inc()
+				s.met.finished(StateDone)
+				now := time.Now()
+				s.storeErr(st.JobSubmitted(j.ID, spec, hash, now))
+				// cacheable=false: the cache already holds the canonical
+				// entry this snapshot was copied from.
+				s.storeErr(st.JobTerminal(j.ID, string(StateDone), "", raw, false, now))
+				s.enforceRetention(now)
+				writeJSON(w, http.StatusOK, j.view(true))
+				return
+			}
+			// Draining: fall through to the push below for the canonical
+			// "draining" 503.
+		}
+	}
+	j := s.addJob(spec, hash)
 	if err := s.queue.tryPush(j); err != nil {
 		s.removeJob(j.ID)
 		s.met.rejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	s.met.submitted.Inc()
 	s.met.kindCounter(spec.Analysis).Inc()
 	s.met.depth.Set(float64(s.queue.depth()))
+	if st := s.cfg.Store; st != nil {
+		s.storeErr(st.JobSubmitted(j.ID, spec, hash, time.Now()))
+	}
+	s.enforceRetention(time.Now())
 	writeJSON(w, http.StatusAccepted, j.view(false))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	// Snapshot under the lock, skipping ids whose jobs were evicted
+	// between the order copy and the map read — the list must stay
+	// stable (no gaps, no nils) while the retention policy runs.
 	s.mu.Lock()
-	ids := append([]string(nil), s.order...)
-	jobs := make([]*Job, 0, len(ids))
-	for _, id := range ids {
-		jobs = append(jobs, s.jobs[id])
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			jobs = append(jobs, j)
+		}
 	}
 	s.mu.Unlock()
 	views := make([]View, 0, len(jobs))
@@ -252,6 +517,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	if j.requestCancel("cancelled by client") {
 		s.met.finished(StateCancelled)
+		s.persistTerminal(j)
 	}
 	writeJSON(w, http.StatusOK, j.view(true))
 }

@@ -31,6 +31,7 @@ func (s *Server) runJob(j *Job) {
 		// Drain deadline passed while this job sat in the queue.
 		if j.requestCancel("server shut down before the job started") {
 			s.met.finished(StateCancelled)
+			s.persistTerminal(j)
 		}
 		return
 	}
@@ -39,10 +40,16 @@ func (s *Server) runJob(j *Job) {
 	if !j.start(cancel, time.Now()) {
 		return // cancelled while queued; already finalized and counted
 	}
+	if st := s.cfg.Store; st != nil {
+		// Journal the transition: a crash from here until the terminal
+		// record classifies the job as interrupted at replay.
+		s.storeErr(st.JobRunning(j.ID, time.Now()))
+	}
 	_, submitted := j.snapshot()
 	s.met.waitSecs.Observe(time.Since(submitted).Seconds())
 	s.met.inflight.Add(1)
 	defer s.met.inflight.Add(-1)
+	started := time.Now()
 
 	var (
 		res *jobspec.Result
@@ -63,4 +70,7 @@ func (s *Server) runJob(j *Job) {
 	st := j.finish(res, err, time.Now())
 	s.met.finished(st)
 	s.met.jobSecs.Observe(time.Since(submitted).Seconds())
+	s.observeJobDuration(time.Since(started))
+	s.persistTerminal(j)
+	s.enforceRetention(time.Now())
 }

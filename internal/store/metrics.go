@@ -1,0 +1,42 @@
+package store
+
+import "repro/internal/obs"
+
+// metrics holds the store's instruments, folded into the same registry
+// the serve and simulation layers publish to. All instruments are obs
+// nil-receiver-safe, so a store opened without a registry pays one nil
+// check per event.
+//
+// Metrics registered:
+//
+//	store_journal_appends_total  count  journal records appended
+//	store_journal_fsyncs_total   count  fsyncs issued on the journal
+//	store_replayed_jobs_total    count  jobs reconstructed at Open
+//	store_cache_hits_total       count  result-cache lookups answered from disk
+//	store_cache_misses_total     count  result-cache lookups that missed
+//	store_evictions_total        count  jobs evicted by the retention policy
+//	store_compactions_total      count  journal rewrites triggered by evictions
+//	store_jobs                   gauge  live (non-evicted) jobs in the journal
+type metrics struct {
+	appends     *obs.Counter
+	fsyncs      *obs.Counter
+	replayed    *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	evictions   *obs.Counter
+	compactions *obs.Counter
+	jobs        *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		appends:     reg.Counter("store_journal_appends_total", "1", "journal records appended"),
+		fsyncs:      reg.Counter("store_journal_fsyncs_total", "1", "fsyncs issued on the journal"),
+		replayed:    reg.Counter("store_replayed_jobs_total", "1", "jobs reconstructed from the journal at open"),
+		cacheHits:   reg.Counter("store_cache_hits_total", "1", "result-cache lookups answered from disk"),
+		cacheMisses: reg.Counter("store_cache_misses_total", "1", "result-cache lookups that missed"),
+		evictions:   reg.Counter("store_evictions_total", "1", "jobs evicted by the retention policy"),
+		compactions: reg.Counter("store_compactions_total", "1", "journal rewrites triggered by evictions"),
+		jobs:        reg.Gauge("store_jobs", "1", "live jobs in the journal"),
+	}
+}

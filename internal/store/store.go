@@ -1,0 +1,538 @@
+// Package store is the durability layer under the job service: the
+// paper's §5.2 resilience loop runs reliability analyses as continuous
+// campaigns, and a campaign that dies with the process — or whose
+// results are recomputed on every identical resubmission — is not
+// continuous. Because every analysis in this reproduction is a pure
+// function of its validated (Spec, Seed) — seeded Pelgrom mismatch
+// trials (Eq. 1) and the deterministic degradation laws of Eqs. 2–4
+// (HCI, NBTI, Black's EM) — terminal results are worth persisting and
+// deduplicating. The store journals job lifecycle transitions
+// (submitted → running → terminal) as append-only NDJSON, snapshots
+// each terminal jobspec.Result to its own file, and on open replays the
+// journal: terminal jobs are restored verbatim, jobs that were still
+// queued are handed back for re-execution, and jobs that died mid-run
+// are classified interrupted (their persisted partial results intact).
+// On top sits a content-addressed result cache keyed by the canonical
+// spec hash, and a journal compactor that keeps disk usage bounded as
+// the retention policy evicts old jobs.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/jobspec"
+	"repro/internal/obs"
+)
+
+// Lifecycle states recorded in the journal. Queued and Interrupted only
+// ever appear on recovered jobs (a queued job has a submitted record and
+// nothing else; an interrupted one has a running record and no terminal
+// record — the classification is made at replay, never written).
+const (
+	StateSubmitted   = "submitted"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateCancelled   = "cancelled"
+	StateEvicted     = "evicted"
+	StateQueued      = "queued"
+	StateInterrupted = "interrupted"
+)
+
+// InterruptedError is the structured cause attached to a job that was
+// running when the process died: the journal holds its running record
+// but no terminal record, so the run can never report a verdict.
+type InterruptedError struct {
+	JobID   string
+	Started time.Time
+}
+
+func (e *InterruptedError) Error() string {
+	return fmt.Sprintf("store: job %s interrupted: the server exited mid-run (started %s); resubmit to re-run",
+		e.JobID, e.Started.Format(time.RFC3339))
+}
+
+// Options tunes a Store. The zero value is the production configuration.
+type Options struct {
+	// NoFsync skips the per-append fsync (tests; crash-safety is then
+	// only as good as the page cache).
+	NoFsync bool
+	// CompactEvery rewrites the journal after this many evictions
+	// (default 64). 1 compacts on every eviction — deterministic for
+	// tests, quadratic under sustained eviction.
+	CompactEvery int
+}
+
+// RecoveredJob is one job reconstructed from the journal at Open, in
+// submit order. State is one of Done/Failed/Cancelled (terminal, Result
+// loaded from its snapshot file when one exists), Queued (submitted but
+// never started — re-run it) or Interrupted (started but never finished
+// — fail it with an InterruptedError; Result carries any partial
+// snapshot that made it to disk before the crash).
+type RecoveredJob struct {
+	ID        string
+	Spec      *jobspec.Spec
+	Hash      string
+	State     string
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	Error     string
+	Result    json.RawMessage
+}
+
+// record is one NDJSON journal line. Spec and Hash ride only on
+// submitted records; Error and Cached only on terminal ones.
+type record struct {
+	Time  time.Time     `json:"time"`
+	Job   string        `json:"job"`
+	State string        `json:"state"`
+	Spec  *jobspec.Spec `json:"spec,omitempty"`
+	Hash  string        `json:"hash,omitempty"`
+	Error string        `json:"error,omitempty"`
+	// Cached marks a done record whose result was entered into the
+	// spec-hash cache, so replay rebuilds the cache exactly.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// jobRec is the store's in-memory state for one journaled job — exactly
+// enough to rewrite the job's records during compaction and to classify
+// it at replay.
+type jobRec struct {
+	id        string
+	spec      *jobspec.Spec
+	hash      string
+	submitted time.Time
+	started   time.Time
+	state     string // "" until terminal
+	errMsg    string
+	finished  time.Time
+	cached    bool
+}
+
+func (r *jobRec) terminal() bool { return r.state != "" }
+
+// Store is a disk-backed journal of job lifecycles plus a result cache.
+// All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+	met  *metrics
+
+	mu        sync.Mutex
+	f         *os.File
+	jobs      map[string]*jobRec
+	order     []string
+	cache     map[string]string // spec hash -> job id with a snapshot on disk
+	evictions int               // since last compaction
+	recovered []RecoveredJob
+}
+
+func (s *Store) journalPath() string { return filepath.Join(s.dir, "journal.ndjson") }
+func (s *Store) resultsDir() string  { return filepath.Join(s.dir, "results") }
+func (s *Store) resultPath(id string) string {
+	return filepath.Join(s.resultsDir(), id+".json")
+}
+
+// Open opens (creating if necessary) the store rooted at dir, replays
+// the journal and leaves the recovered jobs available via Recovered.
+// A torn final line — the signature of a crash mid-append — is
+// truncated away; garbage accumulated by evictions is compacted.
+func Open(dir string, reg *obs.Registry, opts Options) (*Store, error) {
+	if opts.CompactEvery <= 0 {
+		opts.CompactEvery = 64
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		met:   newMetrics(reg),
+		jobs:  make(map[string]*jobRec),
+		cache: make(map[string]string),
+	}
+	if err := os.MkdirAll(s.resultsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	dirty, err := s.replay()
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.f = f
+	if dirty {
+		s.mu.Lock()
+		err = s.compactLocked()
+		s.mu.Unlock()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	s.buildRecovered()
+	s.met.replayed.Add(int64(len(s.recovered)))
+	s.met.jobs.Set(float64(len(s.jobs)))
+	return s, nil
+}
+
+// replay reads the journal into the jobs map. It returns whether the
+// on-disk journal carries garbage worth compacting away: evicted jobs,
+// a torn tail, or records that never resolved to a usable job.
+func (s *Store) replay() (dirty bool, err error) {
+	b, err := os.ReadFile(s.journalPath())
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	ensure := func(id string) *jobRec {
+		r, ok := s.jobs[id]
+		if !ok {
+			r = &jobRec{id: id}
+			s.jobs[id] = r
+			s.order = append(s.order, id)
+		}
+		return r
+	}
+	for off := 0; off < len(b); {
+		nl := -1
+		for i := off; i < len(b); i++ {
+			if b[i] == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			// Torn tail: the process died mid-append. Everything before
+			// this line is intact; compaction rewrites the file cleanly.
+			dirty = true
+			break
+		}
+		var rec record
+		if err := json.Unmarshal(b[off:nl], &rec); err != nil {
+			// A corrupt interior line ends the trustworthy prefix the
+			// same way a torn tail does.
+			dirty = true
+			break
+		}
+		off = nl + 1
+		switch rec.State {
+		case StateSubmitted:
+			r := ensure(rec.Job)
+			r.spec, r.hash, r.submitted = rec.Spec, rec.Hash, rec.Time
+		case StateRunning:
+			ensure(rec.Job).started = rec.Time
+		case StateDone, StateFailed, StateCancelled:
+			r := ensure(rec.Job)
+			r.state, r.errMsg, r.finished, r.cached = rec.State, rec.Error, rec.Time, rec.Cached
+			if rec.Cached && r.hash != "" {
+				s.cache[r.hash] = r.id
+			}
+		case StateEvicted:
+			if r, ok := s.jobs[rec.Job]; ok {
+				if r.hash != "" && s.cache[r.hash] == r.id {
+					delete(s.cache, r.hash)
+				}
+				delete(s.jobs, rec.Job)
+				dirty = true
+			}
+		}
+	}
+	// A job whose submitted record was lost (out-of-order append around a
+	// crash) has no spec and cannot be re-run or served: drop it.
+	live := s.order[:0]
+	for _, id := range s.order {
+		r, ok := s.jobs[id]
+		if !ok {
+			continue // evicted
+		}
+		if r.spec == nil {
+			delete(s.jobs, id)
+			dirty = true
+			continue
+		}
+		live = append(live, id)
+	}
+	s.order = live
+	// Orphan result snapshots (crash between an eviction's journal append
+	// and its file delete) are garbage-collected here.
+	if entries, err := os.ReadDir(s.resultsDir()); err == nil {
+		for _, e := range entries {
+			id := e.Name()
+			if len(id) > 5 && id[len(id)-5:] == ".json" {
+				id = id[:len(id)-5]
+			}
+			if _, ok := s.jobs[id]; !ok {
+				_ = os.Remove(filepath.Join(s.resultsDir(), e.Name()))
+			}
+		}
+	}
+	return dirty, nil
+}
+
+// buildRecovered classifies every replayed job.
+func (s *Store) buildRecovered() {
+	for _, id := range s.order {
+		r := s.jobs[id]
+		rj := RecoveredJob{
+			ID: r.id, Spec: r.spec, Hash: r.hash,
+			Submitted: r.submitted, Started: r.started, Finished: r.finished,
+			Error: r.errMsg,
+		}
+		switch {
+		case r.terminal():
+			rj.State = r.state
+		case !r.started.IsZero():
+			rj.State = StateInterrupted
+		default:
+			rj.State = StateQueued
+		}
+		if b, err := os.ReadFile(s.resultPath(r.id)); err == nil {
+			rj.Result = b
+		}
+		s.recovered = append(s.recovered, rj)
+	}
+}
+
+// Recovered returns the jobs reconstructed at Open, in submit order.
+func (s *Store) Recovered() []RecoveredJob { return s.recovered }
+
+// Jobs returns the number of live (non-evicted) jobs in the journal.
+func (s *Store) Jobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// appendLocked writes one journal record and fsyncs per Options.
+func (s *Store) appendLocked(rec record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding journal record: %w", err)
+	}
+	if _, err := s.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("store: appending journal: %w", err)
+	}
+	s.met.appends.Inc()
+	if !s.opts.NoFsync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: fsync journal: %w", err)
+		}
+		s.met.fsyncs.Inc()
+	}
+	return nil
+}
+
+// JobSubmitted journals a job's admission.
+func (s *Store) JobSubmitted(id string, spec *jobspec.Spec, hash string, t time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		s.order = append(s.order, id)
+	}
+	r := s.jobs[id]
+	if r == nil {
+		r = &jobRec{id: id}
+		s.jobs[id] = r
+	}
+	r.spec, r.hash, r.submitted = spec, hash, t
+	s.met.jobs.Set(float64(len(s.jobs)))
+	return s.appendLocked(record{Time: t, Job: id, State: StateSubmitted, Spec: spec, Hash: hash})
+}
+
+// JobRunning journals a job's queued → running transition.
+func (s *Store) JobRunning(id string, t time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.jobs[id]; ok {
+		r.started = t
+	}
+	return s.appendLocked(record{Time: t, Job: id, State: StateRunning})
+}
+
+// JobTerminal journals a job's terminal transition. The result snapshot
+// (nil = none) is written and synced to its own file before the journal
+// record, so a crash between the two leaves an interrupted job with its
+// partial result intact rather than a terminal record pointing at
+// nothing. cacheable enters the result into the spec-hash cache — the
+// caller decides, because only it knows whether the result is the full
+// deterministic computation (never cache partials or no_cache runs).
+func (s *Store) JobTerminal(id, state, errMsg string, result []byte, cacheable bool, t time.Time) error {
+	if result != nil {
+		if err := writeFileSync(s.resultPath(id), result); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.jobs[id]
+	if !ok {
+		r = &jobRec{id: id}
+		s.jobs[id] = r
+		s.order = append(s.order, id)
+	}
+	r.state, r.errMsg, r.finished = state, errMsg, t
+	cached := false
+	if cacheable && state == StateDone && r.hash != "" && result != nil {
+		s.cache[r.hash] = id
+		cached = true
+	}
+	r.cached = cached
+	return s.appendLocked(record{Time: t, Job: id, State: state, Error: errMsg, Cached: cached})
+}
+
+// CachedResult looks up a terminal result by canonical spec hash and
+// returns the owning job's id plus the snapshot bytes, exactly as they
+// were persisted (byte-identical across restarts). Every call counts a
+// hit or a miss.
+func (s *Store) CachedResult(hash string) (id string, result []byte, ok bool) {
+	s.mu.Lock()
+	id, ok = s.cache[hash]
+	s.mu.Unlock()
+	if !ok {
+		s.met.cacheMisses.Inc()
+		return "", nil, false
+	}
+	b, err := os.ReadFile(s.resultPath(id))
+	if err != nil {
+		s.met.cacheMisses.Inc()
+		return "", nil, false
+	}
+	s.met.cacheHits.Inc()
+	return id, b, true
+}
+
+// Evict removes jobs from the store: one journal tombstone per job (so
+// a crash mid-eviction loses nothing), result snapshots deleted, cache
+// entries dropped. When CompactEvery evictions have accumulated the
+// journal is rewritten without the dead records, which is what keeps
+// the disk footprint bounded by the retention policy rather than by the
+// server's lifetime traffic.
+func (s *Store) Evict(ids []string, t time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		r, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if err := s.appendLocked(record{Time: t, Job: id, State: StateEvicted}); err != nil {
+			return err
+		}
+		_ = os.Remove(s.resultPath(id))
+		if r.hash != "" && s.cache[r.hash] == id {
+			delete(s.cache, r.hash)
+		}
+		delete(s.jobs, id)
+		s.evictions++
+		s.met.evictions.Inc()
+	}
+	live := s.order[:0]
+	for _, id := range s.order {
+		if _, ok := s.jobs[id]; ok {
+			live = append(live, id)
+		}
+	}
+	s.order = live
+	s.met.jobs.Set(float64(len(s.jobs)))
+	if s.evictions >= s.opts.CompactEvery {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the journal from the in-memory state: live
+// jobs' records in submit order, no tombstones, no torn tail. The new
+// journal is synced and atomically renamed over the old one.
+func (s *Store) compactLocked() error {
+	tmp := s.journalPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	for _, id := range s.order {
+		r := s.jobs[id]
+		recs := []record{{Time: r.submitted, Job: id, State: StateSubmitted, Spec: r.spec, Hash: r.hash}}
+		if !r.started.IsZero() {
+			recs = append(recs, record{Time: r.started, Job: id, State: StateRunning})
+		}
+		if r.terminal() {
+			recs = append(recs, record{Time: r.finished, Job: id, State: r.state, Error: r.errMsg, Cached: r.cached})
+		}
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				f.Close()
+				return fmt.Errorf("store: compact: %w", err)
+			}
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmp, s.journalPath()); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if s.f != nil {
+		_ = s.f.Close()
+	}
+	nf, err := os.OpenFile(s.journalPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: reopening journal: %w", err)
+	}
+	s.f = nf
+	s.evictions = 0
+	s.met.compactions.Inc()
+	return nil
+}
+
+// Close syncs and closes the journal. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// writeFileSync writes b to path via a synced temp file and an atomic
+// rename, so a reader never observes a half-written snapshot.
+func writeFileSync(path string, b []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobspec"
+	"repro/internal/obs"
+)
+
+func testSpec(seed uint64) *jobspec.Spec {
+	s := &jobspec.Spec{
+		Analysis: jobspec.KindMC,
+		Netlist:  "* deck\n.end",
+		Seed:     seed,
+		MC:       &jobspec.MCParams{Trials: 10, Node: "out"},
+	}
+	s.ApplyDefaults()
+	return s
+}
+
+func mustOpen(t *testing.T, dir string, reg *obs.Registry, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, reg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, nil, Options{})
+	if got := s.Recovered(); len(got) != 0 {
+		t.Fatalf("fresh store recovered %d jobs", len(got))
+	}
+
+	spec := testSpec(7)
+	hash := spec.CanonicalHash()
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	result := []byte(`{"kind":"mc","seed":7,"elapsed":"1ms"}`)
+	if err := s.JobSubmitted("job-000001", spec, hash, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobRunning("job-000001", t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobTerminal("job-000001", StateDone, "", result, true, t0.Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, nil, Options{})
+	rec := s2.Recovered()
+	if len(rec) != 1 {
+		t.Fatalf("recovered %d jobs, want 1", len(rec))
+	}
+	r := rec[0]
+	if r.ID != "job-000001" || r.State != StateDone || r.Hash != hash {
+		t.Fatalf("recovered = %+v", r)
+	}
+	if !r.Submitted.Equal(t0) || !r.Started.Equal(t0.Add(time.Second)) || !r.Finished.Equal(t0.Add(2*time.Second)) {
+		t.Errorf("times not preserved: %+v", r)
+	}
+	if string(r.Result) != string(result) {
+		t.Errorf("result = %q, want byte-identical %q", r.Result, result)
+	}
+	if r.Spec == nil || r.Spec.Seed != 7 || r.Spec.Analysis != jobspec.KindMC {
+		t.Errorf("spec not preserved: %+v", r.Spec)
+	}
+	// The cache survived the restart too.
+	if id, b, ok := s2.CachedResult(hash); !ok || id != "job-000001" || string(b) != string(result) {
+		t.Errorf("cache after reopen: id=%q ok=%v result=%q", id, ok, b)
+	}
+}
+
+func TestStoreRecoveryClassification(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, nil, Options{})
+	now := time.Now()
+
+	// done, queued (submitted only) and interrupted (running, no terminal).
+	if err := s.JobSubmitted("job-000001", testSpec(1), testSpec(1).CanonicalHash(), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobRunning("job-000001", now); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobTerminal("job-000001", StateFailed, "deck error", nil, false, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobSubmitted("job-000002", testSpec(2), testSpec(2).CanonicalHash(), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobSubmitted("job-000003", testSpec(3), testSpec(3).CanonicalHash(), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobRunning("job-000003", now); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	reg := obs.NewRegistry()
+	s2 := mustOpen(t, dir, reg, Options{})
+	rec := s2.Recovered()
+	if len(rec) != 3 {
+		t.Fatalf("recovered %d jobs, want 3", len(rec))
+	}
+	states := map[string]string{}
+	for _, r := range rec {
+		states[r.ID] = r.State
+	}
+	want := map[string]string{
+		"job-000001": StateFailed,
+		"job-000002": StateQueued,
+		"job-000003": StateInterrupted,
+	}
+	for id, st := range want {
+		if states[id] != st {
+			t.Errorf("job %s recovered as %q, want %q", id, states[id], st)
+		}
+	}
+	if n, _ := reg.Snapshot().Counter("store_replayed_jobs_total"); n != 3 {
+		t.Errorf("store_replayed_jobs_total = %d, want 3", n)
+	}
+
+	e := &InterruptedError{JobID: "job-000003", Started: now}
+	if !strings.Contains(e.Error(), "job-000003") || !strings.Contains(e.Error(), "interrupted") {
+		t.Errorf("InterruptedError text = %q", e)
+	}
+}
+
+func TestStoreCacheSemantics(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s := mustOpen(t, dir, reg, Options{})
+	now := time.Now()
+	spec := testSpec(5)
+	hash := spec.CanonicalHash()
+
+	if _, _, ok := s.CachedResult(hash); ok {
+		t.Fatal("empty store reported a cache hit")
+	}
+	if err := s.JobSubmitted("job-000001", spec, hash, now); err != nil {
+		t.Fatal(err)
+	}
+	// cacheable=false (e.g. a partial or no_cache run) must not populate.
+	if err := s.JobTerminal("job-000001", StateDone, "", []byte(`{"partial":true}`), false, now); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.CachedResult(hash); ok {
+		t.Fatal("non-cacheable terminal populated the cache")
+	}
+	// A cacheable run does.
+	if err := s.JobSubmitted("job-000002", spec, hash, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobTerminal("job-000002", StateDone, "", []byte(`{"kind":"mc"}`), true, now); err != nil {
+		t.Fatal(err)
+	}
+	id, b, ok := s.CachedResult(hash)
+	if !ok || id != "job-000002" || string(b) != `{"kind":"mc"}` {
+		t.Fatalf("cache hit = %q %q %v", id, b, ok)
+	}
+	snap := reg.Snapshot()
+	if n, _ := snap.Counter("store_cache_hits_total"); n != 1 {
+		t.Errorf("store_cache_hits_total = %d, want 1", n)
+	}
+	if n, _ := snap.Counter("store_cache_misses_total"); n != 2 {
+		t.Errorf("store_cache_misses_total = %d, want 2", n)
+	}
+}
+
+func TestStoreEvictAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s := mustOpen(t, dir, reg, Options{CompactEvery: 2})
+	now := time.Now()
+	ids := []string{"job-000001", "job-000002", "job-000003", "job-000004"}
+	for i, id := range ids {
+		spec := testSpec(uint64(i + 1))
+		if err := s.JobSubmitted(id, spec, spec.CanonicalHash(), now); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.JobTerminal(id, StateDone, "", []byte(`{"i":`+id[len(id)-1:]+`}`), true, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Evict(ids[:2], now); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Jobs(); got != 2 {
+		t.Fatalf("live jobs after evict = %d, want 2", got)
+	}
+	snap := reg.Snapshot()
+	if n, _ := snap.Counter("store_evictions_total"); n != 2 {
+		t.Errorf("store_evictions_total = %d, want 2", n)
+	}
+	if n, _ := snap.Counter("store_compactions_total"); n != 1 {
+		t.Errorf("store_compactions_total = %d, want 1 (CompactEvery=2)", n)
+	}
+	// Evicted snapshots are gone from disk; survivors remain.
+	if _, err := os.Stat(s.resultPath(ids[0])); !os.IsNotExist(err) {
+		t.Errorf("evicted result file still on disk: %v", err)
+	}
+	if _, err := os.Stat(s.resultPath(ids[3])); err != nil {
+		t.Errorf("surviving result file missing: %v", err)
+	}
+	// The compacted journal replays to exactly the survivors.
+	s.Close()
+	s2 := mustOpen(t, dir, nil, Options{})
+	rec := s2.Recovered()
+	if len(rec) != 2 || rec[0].ID != ids[2] || rec[1].ID != ids[3] {
+		t.Fatalf("after compaction recovered %+v, want [%s %s]", rec, ids[2], ids[3])
+	}
+	// An evicted job's cache entry died with it; the survivor's lives.
+	if _, _, ok := s2.CachedResult(testSpec(1).CanonicalHash()); ok {
+		t.Error("evicted job still answers from the cache")
+	}
+	if _, _, ok := s2.CachedResult(testSpec(4).CanonicalHash()); !ok {
+		t.Error("surviving job lost its cache entry")
+	}
+}
+
+func TestStoreTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, nil, Options{})
+	now := time.Now()
+	spec := testSpec(9)
+	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobTerminal("job-000001", StateDone, "", []byte(`{"ok":true}`), true, now); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: a torn, newline-less record fragment.
+	f, err := os.OpenFile(filepath.Join(dir, "journal.ndjson"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"time":"2026-08-05T12:00:00Z","job":"job-0000`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, dir, nil, Options{})
+	rec := s2.Recovered()
+	if len(rec) != 1 || rec[0].State != StateDone {
+		t.Fatalf("after torn tail recovered %+v", rec)
+	}
+	// The open compacted the tear away: appends continue cleanly and a
+	// third open sees both jobs intact.
+	spec2 := testSpec(10)
+	if err := s2.JobSubmitted("job-000002", spec2, spec2.CanonicalHash(), now); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := mustOpen(t, dir, nil, Options{})
+	if rec := s3.Recovered(); len(rec) != 2 {
+		t.Fatalf("after repair recovered %d jobs, want 2", len(rec))
+	}
+}
+
+func TestStoreOrphanResultGC(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, nil, Options{})
+	s.Close()
+	orphan := filepath.Join(dir, "results", "job-999999.json")
+	if err := os.WriteFile(orphan, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustOpen(t, dir, nil, Options{})
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphan result snapshot not garbage-collected: %v", err)
+	}
+}
+
+func TestStoreResultSnapshotDecodable(t *testing.T) {
+	// The snapshot path must round-trip a real jobspec.Result untouched.
+	dir := t.TempDir()
+	s := mustOpen(t, dir, nil, Options{})
+	res := &jobspec.Result{Kind: jobspec.KindMC, Seed: 3, MC: &jobspec.MCOutcome{Node: "out", Requested: 2, Values: []float64{0.5, 0.6}}}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(3)
+	now := time.Now()
+	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobTerminal("job-000001", StateDone, "", raw, true, now); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, nil, Options{})
+	var got jobspec.Result
+	if err := json.Unmarshal(s2.Recovered()[0].Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 3 || got.MC == nil || len(got.MC.Values) != 2 {
+		t.Fatalf("round-tripped result = %+v", got)
+	}
+}
