@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet doccheck build test race race-fault race-serve race-store bench-smoke bench bench-solver
+.PHONY: ci vet doccheck build test race race-fault race-serve race-store race-batch bench-smoke bench bench-solver bench-sparse bench-sparse-smoke
 
-ci: vet doccheck build race race-fault race-serve race-store bench-smoke
+ci: vet doccheck build race race-fault race-serve race-store race-batch bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,9 +45,15 @@ race-serve:
 race-store:
 	$(GO) test -race -count=2 -run 'Store|Crash|Recover|Cache|Retention|Evict|RetryAfter|Interrupted|Seed|Hash' ./internal/store/ ./internal/serve/ ./internal/jobspec/
 
+# The batched trial-evaluation paths under the race detector: circuit
+# reuse across core chunks, the jobspec deck pool, and the bit-identity
+# pins that prove reuse never changes a result.
+race-batch:
+	$(GO) test -race -count=2 -run 'Batch|Quantile|Sparse' ./internal/core/ ./internal/jobspec/ ./internal/variation/ ./internal/device/ ./internal/circuit/
+
 # One iteration of every benchmark: catches harness rot without the cost
 # of a full measurement run.
-bench-smoke:
+bench-smoke: bench-sparse-smoke
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 # Full measurement run of every benchmark with allocation stats.
@@ -59,3 +65,13 @@ bench:
 bench-solver:
 	$(GO) test -run '^$$' -bench 'BenchmarkOperatingPoint$$|BenchmarkOperatingPointCold$$|BenchmarkTransientStep$$' -benchmem -benchtime=2s .
 	$(GO) test -run '^$$' -bench 'FactorSolve' -benchmem ./internal/linalg/
+
+# The sparse-backend crossover and batched-campaign benchmarks behind
+# BENCH_6.json / the README crossover table.
+bench-sparse:
+	$(GO) test -run '^$$' -bench 'BenchmarkLadderOP|BenchmarkMCCampaign|BenchmarkMCService' -benchtime=2s .
+	$(GO) test -run '^$$' -bench 'BenchmarkEval' -benchmem -benchtime=2s ./internal/device/
+
+# Harness-rot check for the same set: one iteration each.
+bench-sparse-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkLadderOP|BenchmarkMCCampaign|BenchmarkMCService' -benchtime=1x .

@@ -109,6 +109,7 @@ func main() {
 		acPoints = flag.Int("fpoints", 31, "ac: number of log-spaced points")
 		acSource = flag.String("acsource", "", "ac: source to stimulate (ACMag=1)")
 		trials   = flag.Int("trials", 200, "mc: number of Monte-Carlo dies")
+		mcBatch  = flag.Int("batch", 0, "mc: trials evaluated per reused deck (0 = default 32, 1 = no reuse; never changes results)")
 		node     = flag.String("node", "", "mc/corners: monitored node")
 		lo       = flag.Float64("lo", math.Inf(-1), "mc: spec lower bound")
 		hi       = flag.Float64("hi", math.Inf(1), "mc: spec upper bound")
@@ -169,7 +170,7 @@ func main() {
 	case jobspec.KindAge:
 		spec.Age = &jobspec.AgeParams{Years: *years, TempK: *temp, Checkpoints: 10}
 	case jobspec.KindMC:
-		mc := &jobspec.MCParams{Trials: *trials, Node: *node}
+		mc := &jobspec.MCParams{Trials: *trials, Node: *node, Batch: *mcBatch}
 		if !math.IsInf(*lo, -1) {
 			v := *lo
 			mc.Lo = &v

@@ -32,6 +32,53 @@ type Circuit struct {
 	// newtonIters accumulates Newton iterations across every solve on
 	// this circuit — run telemetry for Monte-Carlo harnesses.
 	newtonIters int64
+	// backend selects the linear-solver matrix representation; see
+	// SetMatrixBackend.
+	backend MatrixBackend
+}
+
+// MatrixBackend selects the linear-solver matrix representation.
+type MatrixBackend int
+
+const (
+	// BackendAuto picks sparse for large, sparse MNA systems and dense
+	// otherwise (the default). The thresholds keep every small circuit on
+	// the dense path, so existing results are bit-identical.
+	BackendAuto MatrixBackend = iota
+	// BackendDense forces the dense LU regardless of size.
+	BackendDense
+	// BackendSparse forces the sparse Markowitz LU regardless of size
+	// (still subject to the runtime dense fallback on numeric failure).
+	BackendSparse
+)
+
+// String names the backend.
+func (b MatrixBackend) String() string {
+	switch b {
+	case BackendDense:
+		return "dense"
+	case BackendSparse:
+		return "sparse"
+	default:
+		return "auto"
+	}
+}
+
+// SetMatrixBackend selects how the MNA system is represented and factored.
+// Changing the backend drops the cached solve context (including the
+// warm-start state); the next solve rebuilds it.
+func (c *Circuit) SetMatrixBackend(b MatrixBackend) {
+	if c.backend == b {
+		return
+	}
+	c.backend = b
+	c.slv = nil
+}
+
+// UsingSparse reports whether the most recently built solve context runs
+// on the sparse backend — observability for tests and benchmarks.
+func (c *Circuit) UsingSparse() bool {
+	return c.slv != nil && c.slv.useSparse
 }
 
 // NewtonIterations returns the cumulative number of Newton iterations

@@ -32,9 +32,18 @@ const (
 	modeTran
 )
 
+// stampTarget abstracts the matrix the elements stamp into: the dense
+// linalg.Matrix, the sparse backend's frozen-pattern matrix, or the
+// pattern-discovery Builder. Elements only accumulate (Add) and the solver
+// only resets (Zero), so this minimal pair is the whole contract.
+type stampTarget interface {
+	Add(i, j int, v float64)
+	Zero()
+}
+
 // stamp carries the in-progress MNA system during one Newton iteration.
 type stamp struct {
-	A    *linalg.Matrix
+	A    stampTarget
 	Rhs  []float64
 	X    []float64 // present iterate
 	Mode analysisMode

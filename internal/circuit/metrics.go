@@ -11,14 +11,16 @@ import (
 // (NewtonIterations); these global instruments are what an operator
 // scrapes while a fleet of trials runs.
 type pkgMetrics struct {
-	newtonIters   *obs.Counter
-	opSolves      *obs.Counter
-	opWarmHits    *obs.Counter
-	opGminFalls   *obs.Counter
-	opSourceFalls *obs.Counter
-	singulars     *obs.Counter
-	noConverge    *obs.Counter
-	opSeconds     *obs.Histogram
+	newtonIters     *obs.Counter
+	opSolves        *obs.Counter
+	opWarmHits      *obs.Counter
+	opGminFalls     *obs.Counter
+	opSourceFalls   *obs.Counter
+	singulars       *obs.Counter
+	noConverge      *obs.Counter
+	sparseSolves    *obs.Counter
+	sparseFallbacks *obs.Counter
+	opSeconds       *obs.Histogram
 }
 
 var met atomic.Pointer[pkgMetrics]
@@ -38,6 +40,8 @@ var met atomic.Pointer[pkgMetrics]
 //	circuit_op_source_total          count  solves that entered source stepping (stage 3)
 //	circuit_singular_total           count  singular-MNA factorisation failures
 //	circuit_noconvergence_total      count  OperatingPoint calls that failed outright
+//	circuit_sparse_solves_total      count  Newton solves served by the sparse backend
+//	circuit_sparse_fallbacks_total   count  sparse solves that fell back to dense
 //	circuit_op_seconds               s      OperatingPoint latency histogram
 func SetMetrics(reg *obs.Registry) {
 	if reg == nil {
@@ -45,13 +49,15 @@ func SetMetrics(reg *obs.Registry) {
 		return
 	}
 	met.Store(&pkgMetrics{
-		newtonIters:   reg.Counter("circuit_newton_iterations_total", "1", "Newton iterations across all solves"),
-		opSolves:      reg.Counter("circuit_op_total", "1", "OperatingPoint calls"),
-		opWarmHits:    reg.Counter("circuit_op_warm_total", "1", "operating points converged from the warm start"),
-		opGminFalls:   reg.Counter("circuit_op_gmin_total", "1", "operating points that fell back to gmin stepping"),
-		opSourceFalls: reg.Counter("circuit_op_source_total", "1", "operating points that fell back to source stepping"),
-		singulars:     reg.Counter("circuit_singular_total", "1", "singular MNA factorisation failures"),
-		noConverge:    reg.Counter("circuit_noconvergence_total", "1", "OperatingPoint failures"),
-		opSeconds:     reg.Histogram("circuit_op_seconds", "s", "OperatingPoint latency", nil),
+		newtonIters:     reg.Counter("circuit_newton_iterations_total", "1", "Newton iterations across all solves"),
+		opSolves:        reg.Counter("circuit_op_total", "1", "OperatingPoint calls"),
+		opWarmHits:      reg.Counter("circuit_op_warm_total", "1", "operating points converged from the warm start"),
+		opGminFalls:     reg.Counter("circuit_op_gmin_total", "1", "operating points that fell back to gmin stepping"),
+		opSourceFalls:   reg.Counter("circuit_op_source_total", "1", "operating points that fell back to source stepping"),
+		singulars:       reg.Counter("circuit_singular_total", "1", "singular MNA factorisation failures"),
+		noConverge:      reg.Counter("circuit_noconvergence_total", "1", "OperatingPoint failures"),
+		sparseSolves:    reg.Counter("circuit_sparse_solves_total", "1", "Newton solves served by the sparse backend"),
+		sparseFallbacks: reg.Counter("circuit_sparse_fallbacks_total", "1", "sparse solves that fell back to dense"),
+		opSeconds:       reg.Histogram("circuit_op_seconds", "s", "OperatingPoint latency", nil),
 	})
 }

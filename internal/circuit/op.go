@@ -196,11 +196,10 @@ func (c *Circuit) newtonDCRun(x []float64, gmin, srcScale float64, cfg opConfig)
 	for iter := 0; iter < cfg.maxIter; iter++ {
 		c.newtonIters++
 		c.stampIteration(slv, st)
-		if err := slv.ws.Factor(); err != nil {
+		xNew, err := c.factorAndSolve(slv, st)
+		if err != nil {
 			return fmt.Errorf("%w: %v", ErrSingular, err)
 		}
-		slv.ws.Solve()
-		xNew := slv.ws.X
 		// Damped update: limit the largest voltage change per iteration to
 		// keep the exponential models inside representable range.
 		maxStep := 0.0

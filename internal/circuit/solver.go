@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/linalg"
+	"repro/internal/linalg/sparse"
 )
 
 // nonlinearElement marks elements whose stamps depend on the present
@@ -40,6 +41,17 @@ type solver struct {
 	linear    []element
 	nonlinear []element
 	nElems    int
+
+	// Sparse backend state; see sparse_backend.go. spMat carries the frozen
+	// stamping pattern with Vals re-pointed at spA0 (linear baseline) or
+	// spIter (per-iteration copy), mirroring the dense a0/ws.A pair.
+	useSparse    bool
+	sparseFailed bool // numeric fallback tripped: stay dense until rebuilt
+	spMat        *sparse.Matrix
+	spA0         []float64
+	spIter       []float64
+	spLU         sparse.LU
+	res          []float64 // residual-guard scratch
 }
 
 // solver returns the circuit's solve context, (re)building buffers and the
@@ -53,6 +65,7 @@ func (c *Circuit) solver() *solver {
 		s = &solver{}
 		c.slv = s
 	}
+	rebuilt := false
 	if s.ws == nil || s.ws.N != n {
 		s.ws = linalg.NewWorkspace(n)
 		s.a0 = linalg.NewMatrix(n, n)
@@ -60,6 +73,7 @@ func (c *Circuit) solver() *solver {
 		s.x = make([]float64, n)
 		s.lastX = make([]float64, n)
 		s.haveLast = false
+		rebuilt = true
 	}
 	if s.nElems != len(c.elements) {
 		s.linear = s.linear[:0]
@@ -73,6 +87,10 @@ func (c *Circuit) solver() *solver {
 		}
 		s.nElems = len(c.elements)
 		s.haveLast = false
+		rebuilt = true
+	}
+	if rebuilt {
+		c.chooseBackend(s, n)
 	}
 	return s
 }
@@ -89,7 +107,12 @@ func (s *solver) noteConverged(x []float64) {
 // source scale). Within one Newton solve none of those change, so the
 // baseline is computed exactly once per solve.
 func (c *Circuit) stampBaseline(slv *solver, st *stamp) {
-	st.A, st.Rhs = slv.a0, slv.rhs0
+	if slv.useSparse {
+		slv.spMat.Vals = slv.spA0
+		st.A, st.Rhs = slv.spMat, slv.rhs0
+	} else {
+		st.A, st.Rhs = slv.a0, slv.rhs0
+	}
 	st.zeroSystem()
 	for _, e := range slv.linear {
 		e.stampInto(st)
@@ -100,9 +123,16 @@ func (c *Circuit) stampBaseline(slv *solver, st *stamp) {
 // copy and stamps the nonlinear elements at the present iterate st.X.
 func (c *Circuit) stampIteration(slv *solver, st *stamp) {
 	ws := slv.ws
-	copy(ws.A.Data, slv.a0.Data)
-	copy(ws.B, slv.rhs0)
-	st.A, st.Rhs = ws.A, ws.B
+	if slv.useSparse {
+		copy(slv.spIter, slv.spA0)
+		copy(ws.B, slv.rhs0)
+		slv.spMat.Vals = slv.spIter
+		st.A, st.Rhs = slv.spMat, ws.B
+	} else {
+		copy(ws.A.Data, slv.a0.Data)
+		copy(ws.B, slv.rhs0)
+		st.A, st.Rhs = ws.A, ws.B
+	}
 	for _, e := range slv.nonlinear {
 		e.stampInto(st)
 	}
@@ -133,9 +163,16 @@ func (c *Circuit) SetInitialGuess(x []float64) error {
 
 // ResetSolverState drops the cached warm-start solution, forcing the next
 // OperatingPoint to run the cold ladder from zero — useful when a caller
-// deliberately wants the zero-bias equilibrium of a multi-stable circuit.
+// deliberately wants the zero-bias equilibrium of a multi-stable circuit,
+// and used by batched Monte-Carlo harnesses to return a reused circuit to
+// the state a fresh Build would produce. A sticky sparse→dense numeric
+// fallback is also cleared (by dropping the solver for rebuild), so a
+// reused die retries the sparse backend exactly like a fresh one.
 func (c *Circuit) ResetSolverState() {
 	if c.slv != nil {
 		c.slv.haveLast = false
+		if c.slv.sparseFailed {
+			c.slv = nil
+		}
 	}
 }

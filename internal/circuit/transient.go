@@ -142,11 +142,10 @@ func (c *Circuit) newtonTran(st *stamp, cfg opConfig) error {
 	for iter := 0; iter < cfg.maxIter; iter++ {
 		c.newtonIters++
 		c.stampIteration(slv, st)
-		if err := slv.ws.Factor(); err != nil {
+		xNew, err := c.factorAndSolve(slv, st)
+		if err != nil {
 			return fmt.Errorf("%w: transient: %v", ErrSingular, err)
 		}
-		slv.ws.Solve()
-		xNew := slv.ws.X
 		var delta float64
 		for i := range st.X {
 			d := xNew[i] - st.X[i]

@@ -91,6 +91,15 @@ type Simulator struct {
 	GlobalSigmaVT, GlobalSigmaBeta float64
 	// Seed makes the whole analysis reproducible.
 	Seed uint64
+	// Batch is the number of consecutive trials evaluated on one reused
+	// circuit instance before it is rebuilt: each worker builds a die once
+	// per chunk, then re-fabricates it in place (damage snapshot restored,
+	// fresh mismatch applied, solver state reset) for the remaining trials,
+	// amortising netlist construction, pattern discovery and symbolic
+	// factorisation. Results are bit-identical for any Batch value — the
+	// per-trial RNG streams depend only on (Seed, index). Values <= 1 run
+	// the classic one-circuit-per-trial path.
+	Batch int
 }
 
 // Result is the outcome of a reliability run.
@@ -224,42 +233,46 @@ func (s *Simulator) RunCtx(ctx context.Context, nTrials int, mission Mission) (*
 	root := mathx.NewRNG(s.Seed)
 	guess := s.nominalGuess()
 
+	batch := s.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	nChunks := (nTrials + batch - 1) / batch
 	workers := runtime.GOMAXPROCS(0)
-	if workers > nTrials {
-		workers = nTrials
+	if workers > nChunks {
+		workers = nChunks
 	}
 	var wg sync.WaitGroup
-	jobs := make(chan int)
+	jobs := make(chan int) // chunk start index
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				if ctx.Err() != nil {
-					outs[i].cancelled = true
-					continue
+			for start := range jobs {
+				end := start + batch
+				if end > nTrials {
+					end = nTrials
 				}
-				var sp obs.Span
-				if m != nil {
-					sp = obs.StartSpan(m.trialSeconds)
-				}
-				outs[i] = s.runTrial(i, root.Split(uint64(i)), times, mission, guess)
-				sp.End()
+				s.runChunk(ctx, outs[start:end], start, root, times, mission, guess, m)
 			}
 		}()
 	}
-	sent := 0
+	sentEnd := 0
 dispatch:
-	for ; sent < nTrials; sent++ {
+	for start := 0; start < nTrials; start += batch {
 		select {
-		case jobs <- sent:
+		case jobs <- start:
+			sentEnd = start + batch
 		case <-ctx.Done():
 			break dispatch
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	for i := sent; i < nTrials; i++ {
+	if sentEnd > nTrials {
+		sentEnd = nTrials
+	}
+	for i := sentEnd; i < nTrials; i++ {
 		outs[i].cancelled = true
 	}
 
@@ -356,18 +369,90 @@ func (s *Simulator) nominalGuess() (guess []float64) {
 	return
 }
 
-// runTrial fabricates, ages and measures one die. guess, when non-nil, is
-// a nominal operating-point solution used to warm-start the trial's first
-// solve. A panic anywhere in the trial pipeline is recovered here and
-// converted into a structured TrialError tagged with the phase that blew
-// up, so one pathological die cannot take down the whole run.
-func (s *Simulator) runTrial(index int, rng *mathx.RNG, times []float64, mission Mission, guess []float64) (out trialOut) {
-	phase := "build"
+// runChunk evaluates the trials [start, start+len(outs)) on one worker.
+// With Batch > 1 one circuit is built for the whole chunk and re-fabricated
+// in place between trials — damage restored to its post-Build snapshot,
+// solver warm-start state reset, the nominal guess re-seeded — which is
+// exactly the state a fresh Build produces, so results are bit-identical
+// to the one-circuit-per-trial path. A die whose trial errors or panics is
+// dropped (its state is suspect) and the next trial rebuilds.
+func (s *Simulator) runChunk(ctx context.Context, outs []trialOut, start int, root *mathx.RNG, times []float64, mission Mission, guess []float64, m *pkgMetrics) {
 	var c *circuit.Circuit
-	defer func() {
-		if c != nil {
-			out.newton = c.NewtonIterations()
+	var devs []*circuit.MOSFET
+	var snap []device.Damage
+	for k := range outs {
+		i := start + k
+		if ctx.Err() != nil {
+			outs[k].cancelled = true
+			continue
 		}
+		var sp obs.Span
+		if m != nil {
+			sp = obs.StartSpan(m.trialSeconds)
+		}
+		if c == nil {
+			c2, err := s.buildTrialCircuit(guess)
+			if err != nil {
+				outs[k] = trialOut{err: &variation.TrialError{Index: i, Phase: "build", Cause: err}}
+				sp.End()
+				continue
+			}
+			c = c2
+			if len(outs) > 1 {
+				devs = c.MOSFETs()
+				snap = make([]device.Damage, len(devs))
+				for d, mos := range devs {
+					snap[d] = mos.Dev.Damage
+				}
+			}
+		} else {
+			for d, mos := range devs {
+				mos.Dev.Damage = snap[d]
+			}
+			c.ResetSolverState()
+			if guess != nil {
+				_ = c.SetInitialGuess(guess)
+			}
+		}
+		outs[k] = s.runTrialOn(c, i, root.Split(uint64(i)), times, mission)
+		if !outs[k].ok {
+			c = nil
+		}
+		sp.End()
+	}
+}
+
+// buildTrialCircuit runs the user Build callback with panic isolation and
+// seeds the warm-start guess. A recovered panic is returned as a
+// *variation.PanicError so the caller can tag it with the build phase.
+func (s *Simulator) buildTrialCircuit(guess []float64) (c *circuit.Circuit, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = nil, &variation.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	c, err = s.Build()
+	if err != nil {
+		return nil, err
+	}
+	if guess != nil {
+		// Best effort: a stale or mis-sized guess is simply ignored.
+		_ = c.SetInitialGuess(guess)
+	}
+	return c, nil
+}
+
+// runTrialOn ages and measures one die on an already-built (possibly
+// reused) circuit. A panic anywhere in the trial pipeline is recovered
+// here and converted into a structured TrialError tagged with the phase
+// that blew up, so one pathological die cannot take down the whole run.
+// Newton iterations are accounted as the delta over the trial, so circuit
+// reuse does not double-count earlier trials' work.
+func (s *Simulator) runTrialOn(c *circuit.Circuit, index int, rng *mathx.RNG, times []float64, mission Mission) (out trialOut) {
+	newton0 := c.NewtonIterations()
+	phase := "mismatch"
+	defer func() {
+		out.newton = c.NewtonIterations() - newton0
 		if r := recover(); r != nil {
 			out = trialOut{newton: out.newton, err: &variation.TrialError{
 				Index: index, Phase: phase,
@@ -375,16 +460,6 @@ func (s *Simulator) runTrial(index int, rng *mathx.RNG, times []float64, mission
 			}}
 		}
 	}()
-	c, err := s.Build()
-	if err != nil {
-		out.err = &variation.TrialError{Index: index, Phase: phase, Cause: err}
-		return
-	}
-	if guess != nil {
-		// Best effort: a stale or mis-sized guess is simply ignored.
-		_ = c.SetInitialGuess(guess)
-	}
-	phase = "mismatch"
 	corner := variation.NominalCorner()
 	if s.GlobalSigmaVT > 0 || s.GlobalSigmaBeta > 0 {
 		corner = variation.SampleGlobalCorner(s.GlobalSigmaVT, s.GlobalSigmaBeta, rng.Split(0))

@@ -1,0 +1,146 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// MosfetBatch evaluates the EKV compact model for one device geometry
+// across many Monte-Carlo trials in a single pass — the
+// structure-of-arrays companion of Mosfet.Eval. The trials share MOSParams
+// and Damage (mismatch is the per-die quantity the paper's Section 2
+// samples; damage is a per-device trajectory) and differ only in their
+// Mismatch triple, stored as parallel slices indexed by trial.
+//
+// EvalInto hoists every trial-invariant subexpression (temperature
+// scaling, the body-effect square root, the source-drain swap of the bias
+// point) out of the loop while performing the per-trial arithmetic in
+// exactly the association order of Mosfet.Eval, so its results are
+// bit-identical to evaluating N scalar devices — the property that lets
+// batched Monte-Carlo campaigns reproduce unbatched results verbatim.
+type MosfetBatch struct {
+	Params MOSParams
+	Damage Damage
+
+	// Per-trial mismatch, structure-of-arrays: the three slices are
+	// parallel and their common length is the batch size.
+	DeltaVT0   []float64
+	BetaFactor []float64
+	DeltaGamma []float64
+}
+
+// NewMosfetBatch returns a batch of n nominal trials of the given device.
+func NewMosfetBatch(p MOSParams, damage Damage, n int) *MosfetBatch {
+	b := &MosfetBatch{
+		Params:     p,
+		Damage:     damage,
+		DeltaVT0:   make([]float64, n),
+		BetaFactor: make([]float64, n),
+		DeltaGamma: make([]float64, n),
+	}
+	for i := range b.BetaFactor {
+		b.BetaFactor[i] = 1
+	}
+	return b
+}
+
+// Len returns the batch size.
+func (b *MosfetBatch) Len() int { return len(b.DeltaVT0) }
+
+// SetTrial installs one trial's mismatch.
+func (b *MosfetBatch) SetTrial(t int, m Mismatch) {
+	b.DeltaVT0[t] = m.DeltaVT0
+	b.BetaFactor[t] = m.BetaFactor
+	b.DeltaGamma[t] = m.DeltaGamma
+}
+
+// EvalInto evaluates every trial at the shared bias point (vgs, vds, vbs)
+// into out, which must have length Len(). It allocates nothing.
+func (b *MosfetBatch) EvalInto(out []OperatingPoint, vgs, vds, vbs float64) {
+	n := b.Len()
+	if len(out) != n {
+		panic(fmt.Sprintf("device: EvalInto out length %d, batch %d", len(out), n))
+	}
+	p := &b.Params
+
+	// ------- trial-invariant prefix, mirroring Mosfet.Eval line for line.
+	sign := 1.0
+	if p.Type == PMOS {
+		sign = -1
+		vgs, vds, vbs = -vgs, -vds, -vbs
+	}
+	swapped := false
+	if vds < 0 {
+		swapped = true
+		vgs, vds, vbs = vgs-vds, -vds, vbs-vds
+	}
+	vt := thermalVoltage(p.TempK)
+	nSlope := p.N
+
+	vsb := -vbs
+	phi := p.Phi
+	sqrtPhi := math.Sqrt(phi)
+	var sq, dsq float64
+	if vsb >= 0 {
+		sq = math.Sqrt(phi + vsb)
+		dsq = 1 / (2 * sq)
+	} else {
+		sq = sqrtPhi + vsb/(2*sqrtPhi)
+		dsq = 1 / (2 * sqrtPhi)
+	}
+
+	// VT() = VT0 + slope·ΔT + ΔVT0 + damage; Beta() = ((KP·W)/L)·tScale·
+	// βFactor·mobility. The hoisted prefixes keep the left-to-right
+	// association of the scalar methods so the remaining per-trial products
+	// produce identical bits.
+	vtBase := p.VT0 + vtTempSlope*(p.TempK-refTempK)
+	tScale := math.Pow(p.TempK/refTempK, mobilityExp)
+	betaBase := p.KP * p.W / p.L * tScale
+	mobility := b.Damage.MobilityFactor
+	dmgVT := b.Damage.DeltaVT
+
+	lambda := p.Lambda * b.Damage.LambdaFactor
+	clm := 1 + lambda*vds
+	dclm := lambda
+	twoN := 2 * nSlope
+	nvt := nSlope * vt
+
+	// ------- per-trial loop: only mismatch-dependent arithmetic remains.
+	for t := 0; t < n; t++ {
+		gamma := p.Gamma + b.DeltaGamma[t]
+		vteff := vtBase + b.DeltaVT0[t] + dmgVT + gamma*(sq-sqrtPhi)
+		dvtdvsb := gamma * dsq
+
+		beta := betaBase * b.BetaFactor[t] * mobility
+		ispec := twoN * beta * vt * vt
+
+		vp := (vgs - vteff) / nSlope
+		xf := vp / vt
+		xr := (vp - vds) / vt
+		ff := ekvF(xf)
+		fr := ekvF(xr)
+
+		idCore := ispec * (ff - fr)
+		id := idCore * clm
+
+		dfdxf := ekvFPrime(xf)
+		dfdxr := ekvFPrime(xr)
+		gm := ispec * (dfdxf - dfdxr) / nvt * clm
+		gds := ispec*dfdxr/vt*clm + idCore*dclm
+		gmb := ispec * (dfdxf - dfdxr) * dvtdvsb / nvt * clm
+
+		region := classifyRegion(vgs, vds, vteff)
+
+		if swapped {
+			id, gm, gds, gmb = -id, -gm, gm+gds+gmb, -gmb
+		}
+		out[t] = OperatingPoint{
+			ID:     sign * id,
+			Gm:     gm,
+			Gds:    gds,
+			Gmb:    gmb,
+			VTeff:  vteff,
+			Region: region,
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBatchEvalBitIdentical asserts the SoA kernel reproduces scalar Eval
+// exactly — bit-for-bit — across device types, bias quadrants and random
+// mismatch, which is what lets batched Monte-Carlo campaigns replace the
+// scalar path without perturbing any result.
+func TestBatchEvalBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tech := MustTech("65nm")
+	cases := []MOSParams{
+		tech.NMOSParams(1e-6, 2*tech.Lmin, 300),
+		tech.PMOSParams(2e-6, 3*tech.Lmin, 350),
+	}
+	biases := [][3]float64{
+		{1.0, 0.8, 0}, {0.3, 0.05, -0.2}, {1.2, -0.6, 0.1}, {-0.2, 0.4, 0}, {0.6, 1.1, -0.5},
+	}
+	for ci, p := range cases {
+		damage := Damage{DeltaVT: 0.015, MobilityFactor: 0.93, LambdaFactor: 1.1, GateLeak: 1e-9}
+		const nTrials = 64
+		batch := NewMosfetBatch(p, damage, nTrials)
+		scalars := make([]*Mosfet, nTrials)
+		for i := 0; i < nTrials; i++ {
+			mm := Mismatch{
+				DeltaVT0:   0.02 * rng.NormFloat64(),
+				BetaFactor: 1 + 0.05*rng.NormFloat64(),
+				DeltaGamma: 0.01 * rng.NormFloat64(),
+			}
+			batch.SetTrial(i, mm)
+			scalars[i] = &Mosfet{Params: p, Mismatch: mm, Damage: damage}
+		}
+		out := make([]OperatingPoint, nTrials)
+		for _, bias := range biases {
+			batch.EvalInto(out, bias[0], bias[1], bias[2])
+			for i, m := range scalars {
+				want := m.Eval(bias[0], bias[1], bias[2])
+				got := out[i]
+				if got != want {
+					t.Fatalf("case %d bias %v trial %d:\n got %+v\nwant %+v", ci, bias, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchEvalAllocFree(t *testing.T) {
+	tech := MustTech("90nm")
+	batch := NewMosfetBatch(tech.NMOSParams(1e-6, 2*tech.Lmin, 300), FreshDamage(), 128)
+	out := make([]OperatingPoint, batch.Len())
+	allocs := testing.AllocsPerRun(20, func() { batch.EvalInto(out, 0.9, 0.6, 0) })
+	if allocs != 0 {
+		t.Fatalf("EvalInto allocated %v times, want 0", allocs)
+	}
+}
+
+// BenchmarkEvalScalarVsBatch quantifies the hoisting win of the SoA
+// kernel over per-trial scalar evaluation.
+func BenchmarkEvalScalar(b *testing.B) {
+	tech := MustTech("65nm")
+	p := tech.NMOSParams(1e-6, 2*tech.Lmin, 300)
+	const nTrials = 256
+	devs := make([]*Mosfet, nTrials)
+	for i := range devs {
+		devs[i] = NewMosfet(p)
+		devs[i].Mismatch.DeltaVT0 = 0.01 * float64(i%7)
+	}
+	out := make([]OperatingPoint, nTrials)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t, d := range devs {
+			out[t] = d.Eval(0.9, 0.6, 0)
+		}
+	}
+}
+
+func BenchmarkEvalBatch(b *testing.B) {
+	tech := MustTech("65nm")
+	p := tech.NMOSParams(1e-6, 2*tech.Lmin, 300)
+	const nTrials = 256
+	batch := NewMosfetBatch(p, FreshDamage(), nTrials)
+	for i := 0; i < nTrials; i++ {
+		batch.DeltaVT0[i] = 0.01 * float64(i%7)
+	}
+	out := make([]OperatingPoint, nTrials)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.EvalInto(out, 0.9, 0.6, 0)
+	}
+}

@@ -1,0 +1,67 @@
+package jobspec
+
+import (
+	"context"
+	"testing"
+)
+
+func TestMCBatchDefaultsAndValidation(t *testing.T) {
+	s := &Spec{Analysis: KindMC, Netlist: inverterDeck, MC: &MCParams{Trials: 10, Node: "out"}}
+	s.ApplyDefaults()
+	if s.MC.Batch != 32 {
+		t.Fatalf("ApplyDefaults batch = %d, want 32", s.MC.Batch)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.MC.Batch = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative batch accepted")
+	}
+}
+
+// TestMCBatchExcludedFromHash pins batch as an execution-only knob: two
+// submissions differing only in deck-reuse chunking must share a cache
+// entry, and a pre-batch client's spec must keep its historical hash.
+func TestMCBatchExcludedFromHash(t *testing.T) {
+	mk := func(batch int) *Spec {
+		s := &Spec{Analysis: KindMC, Netlist: inverterDeck, Seed: 3,
+			MC: &MCParams{Trials: 10, Node: "out", Batch: batch}}
+		s.ApplyDefaults()
+		return s
+	}
+	h0, h1, h64 := mk(0).CanonicalHash(), mk(1).CanonicalHash(), mk(64).CanonicalHash()
+	if h1 != h64 || h0 != h1 {
+		t.Fatalf("batch leaked into the cache key: %s / %s / %s", h0, h1, h64)
+	}
+	changed := mk(0)
+	changed.MC.Trials = 11
+	if changed.CanonicalHash() == h0 {
+		t.Fatal("trials change did not move the hash")
+	}
+}
+
+// TestMCBatchBitIdenticalExecution runs the same MC spec with deck reuse
+// disabled and enabled; pooling must not move a single value.
+func TestMCBatchBitIdenticalExecution(t *testing.T) {
+	run := func(batch int) *MCOutcome {
+		s := &Spec{Analysis: KindMC, Netlist: inverterDeck, Seed: 9,
+			MC: &MCParams{Trials: 40, Node: "out", Batch: batch}}
+		s.ApplyDefaults()
+		res, err := Execute(context.Background(), s)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		return res.MC
+	}
+	ref := run(1)
+	got := run(16)
+	if len(ref.Values) != 40 || len(got.Values) != len(ref.Values) {
+		t.Fatalf("value counts %d vs %d, want 40", len(ref.Values), len(got.Values))
+	}
+	for i := range ref.Values {
+		if ref.Values[i] != got.Values[i] {
+			t.Fatalf("trial %d: batch=1 %.17g vs batch=16 %.17g", i, ref.Values[i], got.Values[i])
+		}
+	}
+}

@@ -304,11 +304,65 @@ func executeAge(ctx context.Context, deck *netlist.Deck, spec *Spec, res *Result
 	return nil
 }
 
+// deckPool recycles parsed netlist decks across Monte-Carlo trials. A
+// trial that finishes cleanly returns its deck for reuse by the next
+// trial (up to batch uses, bounding state drift); a trial that errors
+// drops its deck, since a non-converged circuit's state is suspect.
+// Reused decks are reset to fresh-parse solver state before handing out,
+// so pooling never changes a result.
+type deckPool struct {
+	text  string
+	batch int
+
+	mu   sync.Mutex
+	free []*pooledDeck
+}
+
+type pooledDeck struct {
+	deck *netlist.Deck
+	uses int
+}
+
+func (p *deckPool) get() (*pooledDeck, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		d := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		d.deck.Circuit.ResetSolverState()
+		return d, nil
+	}
+	p.mu.Unlock()
+	deck, err := netlist.Parse(p.text)
+	if err != nil {
+		return nil, err
+	}
+	return &pooledDeck{deck: deck}, nil
+}
+
+func (p *deckPool) put(d *pooledDeck) {
+	d.uses++
+	if d.uses >= p.batch {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, d)
+	p.mu.Unlock()
+}
+
 func executeMC(ctx context.Context, text string, deck *netlist.Deck, spec *Spec, res *Result, opts Options) error {
 	p := spec.MC
-	// Trials run in parallel, so each die parses its own circuit instead
+	// Trials run in parallel, so each die solves a private circuit instead
 	// of mutating the shared deck; the nominal solution warm-starts every
-	// trial's first solve.
+	// trial's first solve. Decks are pooled: one parse serves up to batch
+	// trials, which amortises netlist parsing and the sparse backend's
+	// pattern discovery without perturbing any value (mismatch is fully
+	// overwritten per trial and solver state reset on reuse).
+	batch := p.Batch
+	if batch < 1 {
+		batch = 32
+	}
+	pool := &deckPool{text: text, batch: batch}
 	var guess []float64
 	if sol, err := deck.Circuit.OperatingPoint(); err == nil {
 		guess = sol.X
@@ -316,18 +370,19 @@ func executeMC(ctx context.Context, text string, deck *netlist.Deck, spec *Spec,
 	meter := newMeter("trial", p.Trials, opts)
 	mc, err := variation.MonteCarloCtx(ctx, p.Trials, spec.Seed, func(rng *mathx.RNG, _ int) (float64, error) {
 		defer meter.tick()
-		die, err := netlist.Parse(text)
+		die, err := pool.get()
 		if err != nil {
 			return 0, err
 		}
 		if guess != nil {
-			_ = die.Circuit.SetInitialGuess(guess)
+			_ = die.deck.Circuit.SetInitialGuess(guess)
 		}
-		variation.ApplyRandomMismatch(die.Circuit, die.Tech, variation.NominalCorner(), rng)
-		sol, err := die.Circuit.OperatingPoint()
+		variation.ApplyRandomMismatch(die.deck.Circuit, die.deck.Tech, variation.NominalCorner(), rng)
+		sol, err := die.deck.Circuit.OperatingPoint()
 		if err != nil {
 			return 0, err
 		}
+		pool.put(die)
 		return sol.Voltage(p.Node), nil
 	})
 	if err != nil {

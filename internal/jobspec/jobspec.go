@@ -172,6 +172,12 @@ type MCParams struct {
 	// (JSON cannot carry ±Inf).
 	Lo *float64 `json:"lo,omitempty"`
 	Hi *float64 `json:"hi,omitempty"`
+	// Batch is the number of consecutive trials evaluated on one parsed
+	// deck before it is re-parsed (1 disables reuse; ApplyDefaults picks
+	// 32). It is an execution knob: results are bit-identical for any
+	// value, so CanonicalHash excludes it and two submissions differing
+	// only in batch share a cache entry.
+	Batch int `json:"batch,omitempty"`
 }
 
 // SpecLo returns the lower spec bound (-Inf when unset).
@@ -272,6 +278,9 @@ func (s *Spec) ApplyDefaults() {
 		if s.MC.Trials == 0 {
 			s.MC.Trials = 200
 		}
+		if s.MC.Batch == 0 {
+			s.MC.Batch = 32
+		}
 	case KindCorners:
 		if s.Corners == nil {
 			s.Corners = &CornersParams{}
@@ -286,16 +295,22 @@ func (s *Spec) ApplyDefaults() {
 }
 
 // CanonicalHash returns the spec's content address: the hex SHA-256 of
-// its canonical JSON encoding with the cache-control field (NoCache)
-// cleared. Everything that influences an execution's outcome — version,
-// analysis kind, netlist text, record list, seed, timeout and the
-// parameter blocks — is part of the hash; two specs with equal hashes
+// its canonical JSON encoding with the execution-only fields cleared —
+// NoCache (cache control) and MC.Batch (deck-reuse chunking, which never
+// changes a result). Everything that influences an execution's outcome —
+// version, analysis kind, netlist text, record list, seed, timeout and
+// the parameter blocks — is part of the hash; two specs with equal hashes
 // describe the same deterministic computation, which is what makes the
 // hash usable as a result-cache key. Call ApplyDefaults first so that a
 // sparse document and its fully-explicit twin hash identically.
 func (s *Spec) CanonicalHash() string {
 	c := *s
 	c.NoCache = false
+	if c.MC != nil && c.MC.Batch != 0 {
+		mc := *c.MC
+		mc.Batch = 0
+		c.MC = &mc
+	}
 	// Spec marshals deterministically: fixed struct field order, no maps,
 	// and Duration's string form. Marshal cannot fail on this shape.
 	b, err := json.Marshal(&c)
@@ -359,6 +374,9 @@ func (s *Spec) Validate() error {
 		}
 		if s.MC.Trials < 1 {
 			return fmt.Errorf("jobspec: mc needs trials >= 1")
+		}
+		if s.MC.Batch < 0 {
+			return fmt.Errorf("jobspec: mc needs batch >= 1 (0 selects the default)")
 		}
 		if s.MC.Lo != nil && s.MC.Hi != nil && *s.MC.Lo > *s.MC.Hi {
 			return fmt.Errorf("jobspec: mc spec lo %g above hi %g", *s.MC.Lo, *s.MC.Hi)

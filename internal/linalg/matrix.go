@@ -76,6 +76,22 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 	return y
 }
 
+// MulVecInto computes y = m·x into caller-provided y without allocating.
+// y and x must not alias. It panics on dimension mismatch.
+func (m *Matrix) MulVecInto(y, x []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVecInto dimension mismatch y=%d x=%d vs %dx%d", len(y), len(x), m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
 // String renders the matrix for debugging.
 func (m *Matrix) String() string {
 	var b strings.Builder
@@ -259,8 +275,17 @@ func VecSub(a, b []float64) []float64 {
 		panic("linalg: VecSub length mismatch")
 	}
 	out := make([]float64, len(a))
-	for i := range a {
-		out[i] = a[i] - b[i]
-	}
+	VecSubInto(out, a, b)
 	return out
+}
+
+// VecSubInto computes dst = a - b element-wise without allocating. dst may
+// alias a or b. It panics on length mismatch.
+func VecSubInto(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("linalg: VecSubInto length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
 }

@@ -1,0 +1,463 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrSingular is returned when the matrix is structurally or numerically
+// singular — no acceptable pivot exists at some elimination step.
+var ErrSingular = errors.New("sparse: singular matrix")
+
+// errStalePivots tags a numeric refactorisation whose recorded pivot
+// sequence has degenerated (a pivot position now holds ~0). FactorInto
+// recovers from it internally by re-running the analysis.
+var errStalePivots = errors.New("sparse: stale pivot sequence")
+
+// defaultPivotTol is the Markowitz threshold-pivoting parameter: a pivot
+// candidate must be at least this fraction of its column's largest
+// magnitude. 1e-3 is the classical SPICE sparse-package default — loose
+// enough to keep fill-in low, tight enough for MNA conditioning.
+const defaultPivotTol = 1e-3
+
+// LU is a sparse LU factorisation P·A·Q = L·U with Markowitz-style
+// threshold pivoting. The zero value is ready to use: the first FactorInto
+// runs the full value-aware analysis (pivot-order selection plus exact
+// fill-in bookkeeping, allocating), and every later FactorInto on the same
+// pattern is a fixed-structure numeric refactorisation that performs zero
+// heap allocations — the property the circuit solver's Newton loop relies
+// on, mirroring the dense linalg.LU workspace idiom. If drifting values
+// make a recorded pivot degenerate, FactorInto transparently re-runs the
+// analysis; it returns ErrSingular only when the matrix truly admits no
+// pivot. An LU is not safe for concurrent use.
+type LU struct {
+	n int
+	// PivotTol overrides the threshold-pivoting tolerance (0 = default).
+	PivotTol float64
+
+	// Pivot order: prow[k]/pcol[k] are the original row/column eliminated
+	// at step k. rowPos/colPos are the inverse permutations.
+	prow, pcol     []int32
+	rowPos, colPos []int32
+
+	// L is column-major with an implicit unit diagonal: column k's
+	// subdiagonal entries (permuted rows > k) live in
+	// lRow/lVal[lPtr[k]:lPtr[k+1]], sorted.
+	lPtr []int32
+	lRow []int32
+	lVal []float64
+
+	// U is column-major, strictly above the diagonal (permuted rows < j),
+	// sorted; the diagonal is stored separately in uDiag.
+	uPtr  []int32
+	uRow  []int32
+	uVal  []float64
+	uDiag []float64
+
+	// A-scatter: the input matrix's entries mapped into permuted
+	// coordinates, column-major in pivot order: entry t scatters
+	// a.Vals[aSlot[t]] into work position aRow[t] while processing
+	// permuted column j for t in [aPtr[j], aPtr[j+1]).
+	aPtr  []int32
+	aRow  []int32
+	aSlot []int32
+
+	// w is the dense work/solve vector (zero outside the active column's
+	// pattern between uses).
+	w []float64
+
+	analyzed bool
+	patNNZ   int // pattern size the analysis was built for
+}
+
+// pivotTol returns the effective threshold-pivoting tolerance.
+func (f *LU) pivotTol() float64 {
+	if f.PivotTol > 0 {
+		return f.PivotTol
+	}
+	return defaultPivotTol
+}
+
+// Fill returns the number of stored factor entries (L below the diagonal,
+// U above, plus the n pivots) after an analysis; 0 before one.
+func (f *LU) Fill() int {
+	if !f.analyzed {
+		return 0
+	}
+	return len(f.lRow) + len(f.uRow) + f.n
+}
+
+// FactorInto factorises a. The first call (or a call after the pattern
+// changed, or after the recorded pivots went numerically stale) runs the
+// full Markowitz analysis; steady-state calls are allocation-free numeric
+// refactorisations over the recorded structure. The input matrix is not
+// modified. It returns ErrSingular when no acceptable pivot exists.
+func (f *LU) FactorInto(a *Matrix) error {
+	if f.analyzed && f.n == a.N && f.patNNZ == a.NNZ() {
+		err := f.refactor(a)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, errStalePivots) {
+			return err
+		}
+		// Stale pivot order: fall through to a fresh analysis.
+	}
+	return f.Analyze(a)
+}
+
+// SolveInto solves A·x = b into caller-provided x without allocating,
+// using the factorisation from the last successful FactorInto. x and b
+// must have length n and must not alias; b is not modified.
+func (f *LU) SolveInto(x, b []float64) {
+	if !f.analyzed {
+		panic("sparse: SolveInto before a successful FactorInto")
+	}
+	if len(x) != f.n || len(b) != f.n {
+		panic(fmt.Sprintf("sparse: SolveInto dimension mismatch x=%d b=%d vs %d", len(x), len(b), f.n))
+	}
+	n := f.n
+	w := f.w
+	// Permute: z = P·b.
+	for k := 0; k < n; k++ {
+		w[k] = b[f.prow[k]]
+	}
+	// Forward substitution with unit-lower L (column-oriented).
+	for k := 0; k < n; k++ {
+		zk := w[k]
+		if zk == 0 {
+			continue
+		}
+		for p := f.lPtr[k]; p < f.lPtr[k+1]; p++ {
+			w[f.lRow[p]] -= f.lVal[p] * zk
+		}
+	}
+	// Back substitution with U (column-oriented), un-permuting into x.
+	for j := n - 1; j >= 0; j-- {
+		yj := w[j] / f.uDiag[j]
+		w[j] = yj
+		x[f.pcol[j]] = yj
+		if yj != 0 {
+			for p := f.uPtr[j]; p < f.uPtr[j+1]; p++ {
+				w[f.uRow[p]] -= f.uVal[p] * yj
+			}
+		}
+	}
+}
+
+// Solve returns x with A·x = b, allocating the result.
+func (f *LU) Solve(b []float64) []float64 {
+	x := make([]float64, f.n)
+	f.SolveInto(x, b)
+	return x
+}
+
+// refactor recomputes the numeric factors over the recorded structure via
+// a left-looking (Gilbert–Peierls style) pass with the fill pattern known
+// in advance. Zero allocations in steady state.
+func (f *LU) refactor(a *Matrix) error {
+	n := f.n
+	w := f.w
+	for j := 0; j < n; j++ {
+		// Zero the structural positions of permuted column j, then scatter
+		// A's column into them.
+		for p := f.uPtr[j]; p < f.uPtr[j+1]; p++ {
+			w[f.uRow[p]] = 0
+		}
+		w[j] = 0
+		for p := f.lPtr[j]; p < f.lPtr[j+1]; p++ {
+			w[f.lRow[p]] = 0
+		}
+		for t := f.aPtr[j]; t < f.aPtr[j+1]; t++ {
+			w[f.aRow[t]] += a.Vals[f.aSlot[t]]
+		}
+		// Apply the updates of every U entry's column in ascending order;
+		// the recorded fill pattern is closed under reachability, so each
+		// w[k] is final before its column is applied.
+		for p := f.uPtr[j]; p < f.uPtr[j+1]; p++ {
+			k := f.uRow[p]
+			uv := w[k]
+			f.uVal[p] = uv
+			if uv == 0 {
+				continue
+			}
+			for q := f.lPtr[k]; q < f.lPtr[k+1]; q++ {
+				w[f.lRow[q]] -= f.lVal[q] * uv
+			}
+		}
+		piv := w[j]
+		if piv == 0 || math.IsNaN(piv) {
+			f.clearColumn(j)
+			return fmt.Errorf("%w: pivot %d", errStalePivots, j)
+		}
+		f.uDiag[j] = piv
+		for p := f.lPtr[j]; p < f.lPtr[j+1]; p++ {
+			f.lVal[p] = w[f.lRow[p]] / piv
+		}
+		f.clearColumn(j)
+	}
+	return nil
+}
+
+// clearColumn zeroes the work vector at column j's structural positions so
+// w stays all-zero between columns.
+func (f *LU) clearColumn(j int) {
+	w := f.w
+	for p := f.uPtr[j]; p < f.uPtr[j+1]; p++ {
+		w[f.uRow[p]] = 0
+	}
+	w[j] = 0
+	for p := f.lPtr[j]; p < f.lPtr[j+1]; p++ {
+		w[f.lRow[p]] = 0
+	}
+}
+
+// Analyze runs the full value-aware Markowitz factorisation of a: at every
+// step it picks the acceptable pivot (|v| ≥ tol·colmax) with the smallest
+// Markowitz count (r−1)(c−1), ties broken deterministically, tracking the
+// exact fill-in. It records the pivot order, the factor structure and the
+// numeric factors, so a successful Analyze leaves the LU ready for
+// SolveInto and primes the allocation-free refactor path.
+func (f *LU) Analyze(a *Matrix) error {
+	n := a.N
+	tol := f.pivotTol()
+
+	// Active submatrix in scatter form: colv[j] maps active row -> value,
+	// rows[i] is the set of active columns of row i.
+	colv := make([]map[int32]float64, n)
+	rows := make([]map[int32]struct{}, n)
+	for i := 0; i < n; i++ {
+		rows[i] = make(map[int32]struct{}, 8)
+	}
+	for j := 0; j < n; j++ {
+		c := make(map[int32]float64, int(a.ColPtr[j+1]-a.ColPtr[j])+4)
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			c[i] = a.Vals[p]
+			rows[i][int32(j)] = struct{}{}
+		}
+		colv[j] = c
+	}
+
+	colActive := make([]bool, n)
+	for i := range colActive {
+		colActive[i] = true
+	}
+
+	prow := make([]int32, n)
+	pcol := make([]int32, n)
+	// Factor structure in original coordinates, per elimination step.
+	lrows := make([][]int32, n)   // L column k: original rows
+	lvals := make([][]float64, n) // aligned values
+	ucols := make([][]int32, n)   // U row k: original columns
+	uvals := make([][]float64, n)
+	udiag := make([]float64, n)
+
+	for k := 0; k < n; k++ {
+		// Pivot search: among active entries that pass the column
+		// threshold, minimise the Markowitz count; scan columns in
+		// ascending index so ties resolve deterministically.
+		bestCost := int64(math.MaxInt64)
+		bestRow, bestCol := int32(-1), int32(-1)
+		for j := 0; j < n; j++ {
+			if !colActive[j] {
+				continue
+			}
+			c := colv[j]
+			colmax := 0.0
+			for _, v := range c {
+				if av := math.Abs(v); av > colmax {
+					colmax = av
+				}
+			}
+			if colmax == 0 {
+				continue // numerically empty column; try others
+			}
+			ccount := int64(len(c)) - 1
+			thresh := tol * colmax
+			// Within the column pick the acceptable row with the smallest
+			// row count; break ties toward larger magnitude then smaller
+			// row index (deterministic despite map iteration order).
+			rBest, rBestCount := int32(-1), int64(math.MaxInt64)
+			var rBestAbs float64
+			for r, v := range c {
+				av := math.Abs(v)
+				if av < thresh {
+					continue
+				}
+				rc := int64(len(rows[r])) - 1
+				switch {
+				case rc < rBestCount,
+					rc == rBestCount && av > rBestAbs,
+					rc == rBestCount && av == rBestAbs && r < rBest:
+					rBest, rBestCount, rBestAbs = r, rc, av
+				}
+			}
+			if rBest < 0 {
+				continue
+			}
+			cost := rBestCount * ccount
+			if cost < bestCost || (cost == bestCost && bestCol < 0) {
+				bestCost, bestRow, bestCol = cost, rBest, int32(j)
+			}
+			if bestCost == 0 {
+				break // cannot do better than zero fill
+			}
+		}
+		if bestCol < 0 {
+			f.analyzed = false
+			return fmt.Errorf("%w (no acceptable pivot at step %d of %d)", ErrSingular, k, n)
+		}
+		pi, pj := bestRow, bestCol
+		piv := colv[pj][pi]
+		prow[k], pcol[k] = pi, pj
+		udiag[k] = piv
+
+		// Record the pivot row (U row k) and pivot column (L column k)
+		// structure, then eliminate.
+		delete(colv[pj], pi)
+		delete(rows[pi], pj)
+		uc := make([]int32, 0, len(rows[pi]))
+		for cIdx := range rows[pi] {
+			uc = append(uc, cIdx)
+		}
+		sort.Slice(uc, func(x, y int) bool { return uc[x] < uc[y] })
+		uv := make([]float64, len(uc))
+		for t, cIdx := range uc {
+			uv[t] = colv[cIdx][pi]
+		}
+		lr := make([]int32, 0, len(colv[pj]))
+		for rIdx := range colv[pj] {
+			lr = append(lr, rIdx)
+		}
+		sort.Slice(lr, func(x, y int) bool { return lr[x] < lr[y] })
+		lv := make([]float64, len(lr))
+		for t, rIdx := range lr {
+			lv[t] = colv[pj][rIdx] / piv
+		}
+		ucols[k], uvals[k] = uc, uv
+		lrows[k], lvals[k] = lr, lv
+
+		// Rank-1 update of the active submatrix with exact fill tracking.
+		for t, rIdx := range lr {
+			l := lv[t]
+			for s, cIdx := range uc {
+				cv := colv[cIdx]
+				old, ok := cv[rIdx]
+				cv[rIdx] = old - l*uv[s]
+				if !ok {
+					rows[rIdx][cIdx] = struct{}{}
+				}
+			}
+		}
+		// Deactivate the pivot row and column.
+		for _, cIdx := range uc {
+			delete(colv[cIdx], pi)
+		}
+		for _, rIdx := range lr {
+			delete(rows[rIdx], pj)
+		}
+		colActive[pj] = false
+		colv[pj] = nil
+		rows[pi] = nil
+	}
+
+	// Permutation inverses.
+	rowPos := make([]int32, n)
+	colPos := make([]int32, n)
+	for k := 0; k < n; k++ {
+		rowPos[prow[k]] = int32(k)
+		colPos[pcol[k]] = int32(k)
+	}
+
+	// Pack L (columns are elimination steps; convert rows to permuted
+	// positions and sort).
+	lnnz := 0
+	for k := range lrows {
+		lnnz += len(lrows[k])
+	}
+	f.lPtr = make([]int32, n+1)
+	f.lRow = make([]int32, 0, lnnz)
+	f.lVal = make([]float64, 0, lnnz)
+	type ent struct {
+		pos int32
+		val float64
+	}
+	var scratch []ent
+	for k := 0; k < n; k++ {
+		f.lPtr[k] = int32(len(f.lRow))
+		scratch = scratch[:0]
+		for t, rIdx := range lrows[k] {
+			scratch = append(scratch, ent{rowPos[rIdx], lvals[k][t]})
+		}
+		sort.Slice(scratch, func(x, y int) bool { return scratch[x].pos < scratch[y].pos })
+		for _, e := range scratch {
+			f.lRow = append(f.lRow, e.pos)
+			f.lVal = append(f.lVal, e.val)
+		}
+	}
+	f.lPtr[n] = int32(len(f.lRow))
+
+	// Pack U column-major: entry (k, colPos[c]) for each recorded U-row
+	// entry (k, c).
+	ucount := make([]int32, n)
+	unnz := 0
+	for k := 0; k < n; k++ {
+		for _, cIdx := range ucols[k] {
+			ucount[colPos[cIdx]]++
+			unnz++
+		}
+	}
+	f.uPtr = make([]int32, n+1)
+	for j := 0; j < n; j++ {
+		f.uPtr[j+1] = f.uPtr[j] + ucount[j]
+	}
+	f.uRow = make([]int32, unnz)
+	f.uVal = make([]float64, unnz)
+	fill := make([]int32, n)
+	copy(fill, f.uPtr[:n])
+	// Iterate k ascending so each U column's rows come out sorted.
+	for k := 0; k < n; k++ {
+		for t, cIdx := range ucols[k] {
+			j := colPos[cIdx]
+			p := fill[j]
+			f.uRow[p] = int32(k)
+			f.uVal[p] = uvals[k][t]
+			fill[j] = p + 1
+		}
+	}
+	f.uDiag = udiag
+
+	// A-scatter map: permuted column j draws from original column pcol[j].
+	f.aPtr = make([]int32, n+1)
+	f.aRow = make([]int32, a.NNZ())
+	f.aSlot = make([]int32, a.NNZ())
+	t := int32(0)
+	for j := 0; j < n; j++ {
+		f.aPtr[j] = t
+		oc := pcol[j]
+		for p := a.ColPtr[oc]; p < a.ColPtr[oc+1]; p++ {
+			f.aRow[t] = rowPos[a.RowIdx[p]]
+			f.aSlot[t] = p
+			t++
+		}
+	}
+	f.aPtr[n] = t
+
+	f.n = n
+	f.prow, f.pcol = prow, pcol
+	f.rowPos, f.colPos = rowPos, colPos
+	if cap(f.w) < n {
+		f.w = make([]float64, n)
+	} else {
+		f.w = f.w[:n]
+		for i := range f.w {
+			f.w[i] = 0
+		}
+	}
+	f.analyzed = true
+	f.patNNZ = a.NNZ()
+	return nil
+}

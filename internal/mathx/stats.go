@@ -66,6 +66,20 @@ func Quantile(xs []float64, p float64) float64 {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return QuantileSorted(s, p)
+}
+
+// QuantileSorted is Quantile for an already ascending-sorted slice: the
+// O(n log n) copy-and-sort is skipped entirely, so repeated quantile reads
+// of one dataset cost O(1) each. The input is not modified. Behaviour on
+// an unsorted slice is undefined.
+func QuantileSorted(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		panic("mathx: QuantileSorted of empty slice")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("mathx: QuantileSorted p=%g out of [0,1]", p))
+	}
 	if len(s) == 1 {
 		return s[0]
 	}

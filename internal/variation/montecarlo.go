@@ -6,6 +6,7 @@ import (
 	"math"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -42,6 +43,22 @@ type MCResult struct {
 	Elapsed time.Duration
 	// N is the requested trial count.
 	N int
+
+	// sorted caches an ascending copy of Values for Quantile; sortedN
+	// records the length it was built for, so values appended after a read
+	// (streaming consumers) invalidate it naturally.
+	sorted  []float64
+	sortedN int
+}
+
+// Append adds a successful trial value, invalidating the quantile cache.
+// Engines that assemble Values directly get the same invalidation for
+// free: Quantile rebuilds whenever len(Values) differs from the cached
+// length.
+func (r *MCResult) Append(v float64) {
+	r.Values = append(r.Values, v)
+	r.sorted = nil
+	r.sortedN = 0
 }
 
 // Mean returns the sample mean of the collected values (NaN when no trial
@@ -54,11 +71,19 @@ func (r *MCResult) StdDev() float64 { return mathx.StdDev(r.Values) }
 
 // Quantile returns the p-quantile of the collected values, or NaN when no
 // trial succeeded — consistent with Mean/StdDev rather than panicking.
+// The sorted order is computed once and cached, so reading a whole family
+// of quantiles (yield reports read p50/p95/p99/…) costs one sort total
+// instead of one per call; appending values invalidates the cache.
 func (r *MCResult) Quantile(p float64) float64 {
 	if len(r.Values) == 0 {
 		return math.NaN()
 	}
-	return mathx.Quantile(r.Values, p)
+	if r.sorted == nil || r.sortedN != len(r.Values) {
+		r.sorted = append(r.sorted[:0], r.Values...)
+		sort.Float64s(r.sorted)
+		r.sortedN = len(r.Values)
+	}
+	return mathx.QuantileSorted(r.sorted, p)
 }
 
 // Completed returns the number of trials that actually ran to a verdict.
