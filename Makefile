@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet doccheck build test race race-fault race-serve race-store race-batch bench-smoke bench bench-solver bench-sparse bench-sparse-smoke
+.PHONY: ci vet doccheck build test race race-fault race-serve race-store race-batch race-shard bench-smoke bench bench-solver bench-sparse bench-sparse-smoke
 
-ci: vet doccheck build race race-fault race-serve race-store race-batch bench-smoke
+ci: vet doccheck build race race-fault race-serve race-store race-batch race-shard bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,14 @@ race-store:
 # pins that prove reuse never changes a result.
 race-batch:
 	$(GO) test -race -count=2 -run 'Batch|Quantile|Sparse' ./internal/core/ ./internal/jobspec/ ./internal/variation/ ./internal/device/ ./internal/circuit/
+
+# The sharded-campaign and checkpoint/resume paths under the race
+# detector: mergeable moments and sketches, shard-seed independence,
+# trial-range scatter-gather (local and peer-dispatched), checkpoint
+# journaling with compaction/eviction guarantees, and the kill-and-
+# resume acceptance suite.
+race-shard:
+	$(GO) test -race -count=1 -run 'Moments|Sketch|SplitMix|Correl|Chunk|Campaign|Shard|Resume|Checkpoint|QuantileCache' ./internal/mathx/ ./internal/variation/ ./internal/jobspec/ ./internal/store/ ./internal/serve/
 
 # One iteration of every benchmark: catches harness rot without the cost
 # of a full measurement run.

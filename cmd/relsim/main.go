@@ -11,6 +11,7 @@
 //	relsim -netlist ckt.sp -analysis age -years 10 -temp 400 -record out
 //	relsim -netlist ckt.sp -analysis mc -trials 200 -node out -lo 0.4 -hi 0.8
 //	relsim -netlist ckt.sp -analysis mc -trials 100000 -node out -timeout 30s -progress
+//	relsim -netlist ckt.sp -analysis mc -trials 100000 -node out -shards 8
 //	relsim -netlist ckt.sp -analysis corners -node out
 //	relsim -serve :8080
 //
@@ -42,15 +43,29 @@
 //
 // Durability: -data-dir journals job lifecycles and snapshots terminal
 // results, so a restarted server serves previously completed results
-// without recomputation, re-runs jobs that were still queued, and fails
-// jobs that died mid-run with a structured interrupted error. It also
-// enables the spec-keyed result cache: resubmitting a byte-equivalent
-// spec (after defaulting) returns a completed job immediately; a spec
-// can opt out with "no_cache": true. -keep-jobs / -keep-age bound the
-// retained terminal jobs in memory and on disk (the journal is
-// compacted as evictions accumulate):
+// without recomputation and re-runs jobs that were still queued. Running
+// Monte-Carlo campaigns are checkpointed chunk by chunk: after a crash
+// the restarted server resumes them from the last journaled checkpoint,
+// re-running at most the chunk that was in flight, instead of failing
+// them; interrupted jobs of other kinds still fail with a structured
+// interrupted error. -data-dir also enables the spec-keyed result cache:
+// resubmitting a byte-equivalent spec (after defaulting) returns a
+// completed job immediately; a spec can opt out with "no_cache": true.
+// -keep-jobs / -keep-age bound the retained terminal jobs in memory and
+// on disk (the journal is compacted as evictions accumulate; a resumable
+// campaign's checkpoints are never evicted or compacted away):
 //
 //	relsim -serve :8080 -data-dir /var/lib/relsim -keep-jobs 512 -keep-age 24h
+//
+// Sharding: a spec with "mc": {"shards": k} splits its campaign into k
+// chunk-aligned trial-range shards, scatter-gathered into one result
+// with bit-identical mean/σ/yield (quantiles carry a small documented
+// sketch error). With -peers the shards are dispatched to other relsim
+// servers over the same /v1/jobs API; shard progress streams on the
+// events endpoint as NDJSON {"stage":"shard"} samples, and a dead peer
+// falls back to local execution:
+//
+//	relsim -serve :8080 -peers http://host2:8080,http://host3:8080
 //
 // Observability: -progress streams one instrument snapshot line per second
 // to stderr (trial count and latency quantiles, Newton iterations, aging
@@ -110,6 +125,7 @@ func main() {
 		acSource = flag.String("acsource", "", "ac: source to stimulate (ACMag=1)")
 		trials   = flag.Int("trials", 200, "mc: number of Monte-Carlo dies")
 		mcBatch  = flag.Int("batch", 0, "mc: trials evaluated per reused deck (0 = default 32, 1 = no reuse; never changes results)")
+		shards   = flag.Int("shards", 0, "mc: split the campaign into this many chunk-aligned trial-range shards (0/1 = unsharded; mean/σ/yield stay bit-identical)")
 		node     = flag.String("node", "", "mc/corners: monitored node")
 		lo       = flag.Float64("lo", math.Inf(-1), "mc: spec lower bound")
 		hi       = flag.Float64("hi", math.Inf(1), "mc: spec upper bound")
@@ -125,11 +141,12 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "serve: journal jobs and results here; restart recovers them and enables the spec-keyed result cache")
 		keepJobs  = flag.Int("keep-jobs", 512, "serve: max retained terminal jobs (oldest evicted first; negative = unbounded)")
 		keepAge   = flag.Duration("keep-age", 0, "serve: evict terminal jobs older than this (0 = no age bound)")
+		peers     = flag.String("peers", "", "serve: comma-separated peer server URLs to dispatch campaign shards to (mc.shards > 1); a dead peer falls back to local execution")
 	)
 	flag.Parse()
 
 	if *serveAddr != "" {
-		runServe(*serveAddr, *queue, *workers, *timeout, *drain, *metrics, *progress, *dataDir, *keepJobs, *keepAge)
+		runServe(*serveAddr, *queue, *workers, *timeout, *drain, *metrics, *progress, *dataDir, *keepJobs, *keepAge, splitList(*peers))
 		return
 	}
 	if *netFile == "" {
@@ -170,7 +187,7 @@ func main() {
 	case jobspec.KindAge:
 		spec.Age = &jobspec.AgeParams{Years: *years, TempK: *temp, Checkpoints: 10}
 	case jobspec.KindMC:
-		mc := &jobspec.MCParams{Trials: *trials, Node: *node, Batch: *mcBatch}
+		mc := &jobspec.MCParams{Trials: *trials, Node: *node, Batch: *mcBatch, Shards: *shards}
 		if !math.IsInf(*lo, -1) {
 			v := *lo
 			mc.Lo = &v

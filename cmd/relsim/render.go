@@ -82,6 +82,12 @@ func renderMC(spec *jobspec.Spec, res *jobspec.Result) {
 	}
 	printMCAccounting(mc)
 	if len(mc.Values) == 0 {
+		// Sharded and resumed campaigns ship mergeable statistics instead
+		// of per-trial values; report from those.
+		if mc.Stats != nil && mc.Stats.Moments.Count > 0 {
+			renderMCStats(spec, mc)
+			return
+		}
 		log.Fatal("mc: no trial produced a value")
 	}
 	fmt.Printf("V(%s) over %d dies: mean %s, σ %s\n", mc.Node, mc.Completed(),
@@ -98,15 +104,44 @@ func renderMC(spec *jobspec.Spec, res *jobspec.Result) {
 	}
 }
 
+// renderMCStats reports a campaign summarised by mergeable statistics
+// (sharded or resumed runs keep no per-trial values): exact moments,
+// sketch quantiles in place of the histogram, and the merged yield.
+func renderMCStats(spec *jobspec.Spec, mc *jobspec.MCOutcome) {
+	st := mc.Stats
+	how := "sharded"
+	if mc.Resumed > 0 {
+		how = fmt.Sprintf("resumed from %d checkpointed chunk(s)", mc.Resumed)
+	} else if mc.Shards > 1 {
+		how = fmt.Sprintf("scatter-gathered over %d shards", mc.Shards)
+	}
+	fmt.Printf("V(%s) over %d dies (%s): mean %s, σ %s\n", mc.Node, mc.Completed(), how,
+		report.SI(st.Mean(), "V"), report.SI(st.StdDev(), "V"))
+	t := report.NewTable("distribution (merged sketch)", "quantile", "V("+mc.Node+")")
+	for _, p := range []float64{0.01, 0.10, 0.50, 0.90, 0.99} {
+		t.AddRow(fmt.Sprintf("p%02.0f", p*100), report.SI(st.Quantile(p), "V"))
+	}
+	fmt.Println(t)
+	fmt.Fprintln(os.Stderr, "per-trial values not retained; no histogram (quantiles carry the sketch's bounded rank error)")
+	if spec.MC != nil && spec.MC.HasSpec() {
+		fmt.Printf("yield for %g <= V(%s) <= %g: %s\n",
+			spec.MC.SpecLo(), mc.Node, spec.MC.SpecHi(), mc.Yield)
+	}
+}
+
 // printMCAccounting reports the run's structured failure accounting —
 // how many dies measured, failed (by kind), returned NaN or were never
 // run — so partial and degraded runs are legible to operators. It writes
 // to stderr: the accounting is diagnostics, and stdout may be a pipe
 // carrying the measurement results.
 func printMCAccounting(mc *jobspec.MCOutcome) {
+	ok := len(mc.Values)
+	if mc.Stats != nil {
+		ok = int(mc.Stats.Moments.Count)
+	}
 	fmt.Fprintf(os.Stderr, "trials: %d requested, %d completed in %s (%d ok, %d failed, %d NaN, %d cancelled)\n",
 		mc.Requested, mc.Completed(), time.Duration(mc.Elapsed).Round(time.Millisecond),
-		len(mc.Values), mc.Failures, mc.NaNs, mc.Cancelled)
+		ok, mc.Failures, mc.NaNs, mc.Cancelled)
 	if mc.Failures > 0 {
 		for kind, count := range mc.FailuresByKind {
 			fmt.Fprintf(os.Stderr, "  %s failures: %d\n", kind, count)

@@ -23,9 +23,12 @@ import (
 // results. With -data-dir the server is durable: job lifecycles are
 // journaled, terminal results snapshotted, identical resubmissions
 // answered from the spec-keyed cache, and a restart against the same
-// directory restores the previous campaign (terminal jobs served as-is,
-// queued jobs re-run, interrupted jobs failed with a structured cause).
-func runServe(addr string, queueDepth, workers int, defaultTimeout, drain time.Duration, metricsAddr string, progress bool, dataDir string, keepJobs int, keepAge time.Duration) {
+// directory restores the previous campaign — terminal jobs served
+// as-is, queued jobs re-run, interrupted Monte-Carlo campaigns resumed
+// from their last journaled chunk checkpoint, and other interrupted
+// jobs failed with a structured cause. With -peers, campaign shards
+// (mc.shards > 1) are dispatched to peer relsim servers.
+func runServe(addr string, queueDepth, workers int, defaultTimeout, drain time.Duration, metricsAddr string, progress bool, dataDir string, keepJobs int, keepAge time.Duration, peers []string) {
 	reg := obs.NewRegistry()
 	core.EnableMetrics(reg)
 
@@ -38,19 +41,23 @@ func runServe(addr string, queueDepth, workers int, defaultTimeout, drain time.D
 		}
 		defer st.Close()
 		if rec := st.Recovered(); len(rec) > 0 {
-			var terminal, queued, interrupted int
+			var terminal, queued, interrupted, resumable int
 			for _, r := range rec {
 				switch r.State {
 				case store.StateQueued:
 					queued++
 				case store.StateInterrupted:
-					interrupted++
+					if len(r.Checkpoints) > 0 {
+						resumable++
+					} else {
+						interrupted++
+					}
 				default:
 					terminal++
 				}
 			}
-			log.Printf("recovered %d job(s) from %s: %d terminal, %d re-queued, %d interrupted",
-				len(rec), dataDir, terminal, queued, interrupted)
+			log.Printf("recovered %d job(s) from %s: %d terminal, %d re-queued, %d resumable from checkpoints, %d interrupted",
+				len(rec), dataDir, terminal, queued, resumable, interrupted)
 		}
 	}
 
@@ -62,6 +69,7 @@ func runServe(addr string, queueDepth, workers int, defaultTimeout, drain time.D
 		Store:           st,
 		MaxTerminalJobs: keepJobs,
 		MaxTerminalAge:  keepAge,
+		Peers:           peers,
 	})
 
 	// Listen synchronously so a bad address or busy port is a startup

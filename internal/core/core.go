@@ -109,8 +109,14 @@ type Result struct {
 	// Yield[k] is the fraction of trials meeting every spec at Times[k].
 	Yield []variation.YieldEstimate
 	// MetricMeans[k][m] is the mean of metric m over surviving evaluations
-	// at checkpoint k.
+	// at checkpoint k — the MeanValue projection of MetricStats, kept for
+	// compatibility.
 	MetricMeans [][]float64
+	// MetricStats[k][m] is the mergeable moment summary (count, mean,
+	// variance, extrema) of metric m over surviving evaluations at
+	// Times[k], so dispersion over life is available without retaining
+	// per-trial values.
+	MetricStats [][]mathx.Moments
 	// FailureTimes holds each trial's first out-of-spec time (+Inf for
 	// survivors), sorted ascending.
 	FailureTimes []float64
@@ -282,10 +288,10 @@ dispatch:
 	}
 	res.Yield = make([]variation.YieldEstimate, nCk)
 	res.MetricMeans = make([][]float64, nCk)
+	res.MetricStats = make([][]mathx.Moments, nCk)
 	for k := 0; k < nCk; k++ {
 		pass, total := 0, 0
-		sums := make([]float64, nMet)
-		counts := 0
+		stats := make([]mathx.Moments, nMet)
 		for _, o := range outs {
 			if !o.ok {
 				continue
@@ -295,22 +301,18 @@ dispatch:
 				pass++
 			}
 			if o.values[k] != nil {
-				counts++
 				for m, v := range o.values[k] {
-					sums[m] += v
+					stats[m].Add(v)
 				}
 			}
 		}
 		res.Yield[k] = variation.YieldFromCounts(pass, total)
 		means := make([]float64, nMet)
 		for m := range means {
-			if counts > 0 {
-				means[m] = sums[m] / float64(counts)
-			} else {
-				means[m] = math.NaN()
-			}
+			means[m] = stats[m].MeanValue()
 		}
 		res.MetricMeans[k] = means
+		res.MetricStats[k] = stats
 	}
 	for _, o := range outs {
 		res.Telemetry.NewtonIterations += o.newton

@@ -2,6 +2,7 @@ package jobspec
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -35,6 +36,32 @@ type Options struct {
 	// ProgressEvery emits every k-th sample (the final one always fires).
 	// 0 picks a default that bounds a run to ~200 samples.
 	ProgressEvery int
+	// OnCheckpoint, when non-nil, receives one checkpoint per completed
+	// Monte-Carlo campaign chunk — the durable unit of resume. Calls are
+	// serialized. A consumer that journals every checkpoint can hand the
+	// payloads back through Resume to continue an interrupted campaign
+	// re-running at most the chunk that was in flight.
+	OnCheckpoint func(Checkpoint)
+	// Resume supplies checkpoint payloads journaled from a previous
+	// execution of the same spec; the covered chunks are folded without
+	// re-running their trials. A payload that does not fit the campaign
+	// grid fails the execution loudly rather than merging wrong numbers.
+	Resume []json.RawMessage
+	// RunShard, when non-nil, executes one trial-range sub-spec of a
+	// sharded campaign (shard is the 0-based shard index) — the hook the
+	// job server uses to dispatch shards to peer servers. Nil falls back
+	// to executing every shard in this process.
+	RunShard func(ctx context.Context, shard int, sub *Spec) (*Result, error)
+}
+
+// Checkpoint is one durable unit of Monte-Carlo campaign progress: the
+// JSON summary (variation.ChunkStat) of one completed grid chunk. Seq is
+// the global chunk index; replaying Data through Options.Resume skips
+// the chunk on the next run.
+type Checkpoint struct {
+	Stage string
+	Seq   int
+	Data  json.RawMessage
 }
 
 // progressMeter serializes progress emission: Monte-Carlo trials finish
@@ -350,8 +377,89 @@ func (p *deckPool) put(d *pooledDeck) {
 	p.mu.Unlock()
 }
 
+// decodeResume parses journaled chunk checkpoints back into ChunkStats
+// and validates them against the campaign grid. A payload that does not
+// decode or does not fit the grid is an error: resuming with a foreign
+// checkpoint must fail loudly, never merge wrong statistics. Duplicate
+// chunk records (a journal can carry rewrites) keep the first.
+func decodeResume(raw []json.RawMessage, trials int) ([]variation.ChunkStat, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	nc := variation.NumChunks(trials)
+	out := make([]variation.ChunkStat, 0, len(raw))
+	seen := make(map[int]bool, len(raw))
+	for _, b := range raw {
+		var st variation.ChunkStat
+		if err := json.Unmarshal(b, &st); err != nil {
+			return nil, fmt.Errorf("jobspec: decoding resume checkpoint: %w", err)
+		}
+		if st.Chunk < 0 || st.Chunk >= nc {
+			return nil, fmt.Errorf("jobspec: resume chunk %d outside the %d-chunk campaign grid", st.Chunk, nc)
+		}
+		if ef, et := variation.ChunkRange(trials, st.Chunk); st.From != ef || st.To != et {
+			return nil, fmt.Errorf("jobspec: resume chunk %d range [%d,%d) does not match grid [%d,%d) — checkpoint from a different campaign?",
+				st.Chunk, st.From, st.To, ef, et)
+		}
+		if seen[st.Chunk] {
+			continue
+		}
+		seen[st.Chunk] = true
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// emitCheckpoint journals one completed chunk through the caller's hook.
+func emitCheckpoint(opts Options, st variation.ChunkStat) {
+	if opts.OnCheckpoint == nil {
+		return
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		return // a ChunkStat always marshals; never fail the campaign on it
+	}
+	opts.OnCheckpoint(Checkpoint{Stage: "chunk", Seq: st.Chunk, Data: b})
+}
+
+// mcOutcome assembles the MCOutcome from a campaign result. The failure
+// taxonomy and yield come from the mergeable Stats, so they are
+// available identically whether or not per-trial values were kept.
+func mcOutcome(p *MCParams, mc *variation.MCResult, chunks []variation.ChunkStat) *MCOutcome {
+	out := &MCOutcome{
+		Node:      p.Node,
+		Requested: mc.N,
+		Values:    mc.Values,
+		Failures:  mc.Failures,
+		NaNs:      mc.NaNs,
+		Cancelled: mc.Cancelled,
+		Elapsed:   Duration(mc.Elapsed),
+		Stats:     mc.Stats,
+		Chunks:    chunks,
+		Resumed:   mc.Resumed,
+	}
+	if st := mc.Stats; st != nil {
+		if st.Failures > 0 {
+			out.FailuresByKind = st.ByKind
+			out.FirstFailure = st.First
+		}
+		if p.HasSpec() && st.Moments.Count > 0 {
+			y := st.Yield()
+			out.Yield = &y
+		}
+	}
+	return out
+}
+
 func executeMC(ctx context.Context, text string, deck *netlist.Deck, spec *Spec, res *Result, opts Options) error {
 	p := spec.MC
+	resume, err := decodeResume(opts.Resume, p.Trials)
+	if err != nil {
+		return err
+	}
+	if p.Shards > 1 && p.Range == nil {
+		return executeMCSharded(ctx, spec, res, opts, resume)
+	}
 	// Trials run in parallel, so each die solves a private circuit instead
 	// of mutating the shared deck; the nominal solution warm-starts every
 	// trial's first solve. Decks are pooled: one parse serves up to batch
@@ -367,24 +475,60 @@ func executeMC(ctx context.Context, text string, deck *netlist.Deck, spec *Spec,
 	if sol, err := deck.Circuit.OperatingPoint(); err == nil {
 		guess = sol.X
 	}
-	meter := newMeter("trial", p.Trials, opts)
-	mc, err := variation.MonteCarloCtx(ctx, p.Trials, spec.Seed, func(rng *mathx.RNG, _ int) (float64, error) {
-		defer meter.tick()
-		die, err := pool.get()
-		if err != nil {
-			return 0, err
+	from, to := 0, p.Trials
+	if p.Range != nil {
+		from, to = p.Range.From, p.Range.To
+	}
+	// The meter counts trials this execution actually runs: resumed
+	// chunks are folded from checkpoints, not re-run.
+	toRun := to - from
+	for _, st := range resume {
+		if st.From >= from && st.To <= to {
+			toRun -= st.To - st.From
 		}
-		if guess != nil {
-			_ = die.deck.Circuit.SetInitialGuess(guess)
-		}
-		variation.ApplyRandomMismatch(die.deck.Circuit, die.deck.Tech, variation.NominalCorner(), rng)
-		sol, err := die.deck.Circuit.OperatingPoint()
-		if err != nil {
-			return 0, err
-		}
-		pool.put(die)
-		return sol.Voltage(p.Node), nil
-	})
+	}
+	meter := newMeter("trial", toRun, opts)
+	var vspec *variation.Spec
+	if p.HasSpec() {
+		vspec = &variation.Spec{Name: p.Node, Lo: p.SpecLo(), Hi: p.SpecHi()}
+	}
+	var chunks []variation.ChunkStat
+	camp := &variation.Campaign{
+		Trials: p.Trials,
+		Seed:   spec.Seed,
+		Spec:   vspec,
+		From:   from,
+		To:     to,
+		Resume: resume,
+		// Per-trial values feed the CLI histogram; a trial-range sub-job
+		// or a resumed campaign reports from mergeable Stats alone.
+		KeepValues: p.Range == nil && len(resume) == 0,
+		Trial: func(rng *mathx.RNG, _ int) (float64, error) {
+			defer meter.tick()
+			die, err := pool.get()
+			if err != nil {
+				return 0, err
+			}
+			if guess != nil {
+				_ = die.deck.Circuit.SetInitialGuess(guess)
+			}
+			variation.ApplyRandomMismatch(die.deck.Circuit, die.deck.Tech, variation.NominalCorner(), rng)
+			sol, err := die.deck.Circuit.OperatingPoint()
+			if err != nil {
+				return 0, err
+			}
+			pool.put(die)
+			return sol.Voltage(p.Node), nil
+		},
+		OnChunk: func(st variation.ChunkStat) {
+			// Run emits complete chunks sequentially from one goroutine.
+			if p.Range != nil {
+				chunks = append(chunks, st)
+			}
+			emitCheckpoint(opts, st)
+		},
+	}
+	mc, err := camp.Run(ctx)
 	if err != nil {
 		if !errors.Is(err, variation.ErrCancelled) {
 			return err
@@ -392,30 +536,140 @@ func executeMC(ctx context.Context, text string, deck *netlist.Deck, spec *Spec,
 		res.Partial = true
 		res.Warning = err.Error()
 	}
-	out := &MCOutcome{
-		Node:      p.Node,
-		Requested: mc.N,
-		Values:    mc.Values,
-		Failures:  mc.Failures,
-		NaNs:      mc.NaNs,
-		Cancelled: mc.Cancelled,
-		Elapsed:   Duration(mc.Elapsed),
+	res.MC = mcOutcome(p, mc, chunks)
+	return nil
+}
+
+// executeMCSharded scatter-gathers a Monte-Carlo campaign across
+// trial-range sub-jobs. Each shard covers a contiguous run of whole grid
+// chunks; shards whose chunks are all resumed are skipped outright.
+// Gathered per-chunk stats are folded in ascending global chunk order,
+// which is what makes the merged mean/std/yield bit-identical to a
+// single-shard run for any shard count.
+func executeMCSharded(ctx context.Context, spec *Spec, res *Result, opts Options, resume []variation.ChunkStat) error {
+	p := spec.MC
+	nc := variation.NumChunks(p.Trials)
+	k := p.Shards
+	if k > nc {
+		k = nc
 	}
-	if mc.Failures > 0 {
-		out.FailuresByKind = make(map[string]int)
-		for kind, count := range mc.ErrorsByKind() {
-			out.FailuresByKind[kind.String()] = count
+	runShard := opts.RunShard
+	if runShard == nil {
+		runShard = func(ctx context.Context, _ int, sub *Spec) (*Result, error) {
+			return ExecuteOpts(ctx, sub, Options{})
 		}
-		out.FirstFailure = mc.Errors[0].Error()
 	}
-	if p.HasSpec() && len(mc.Values) > 0 {
-		y := variation.EstimateYield(mc.Values, variation.Spec{
-			Name: p.Node, Lo: p.SpecLo(), Hi: p.SpecHi(),
-		})
-		out.Yield = &y
+	// byChunk gathers chunk stats under mu once shards start; resumed is
+	// its immutable pre-launch snapshot, safe to read while launching.
+	byChunk := make(map[int]variation.ChunkStat, nc)
+	resumed := make(map[int]bool, len(resume))
+	for _, st := range resume {
+		byChunk[st.Chunk] = st
+		resumed[st.Chunk] = true
 	}
+
+	var (
+		mu         sync.Mutex
+		shardsDone int
+		firstErr   error
+	)
+	emitShard := func() { // callers hold mu
+		shardsDone++
+		if opts.OnProgress != nil {
+			opts.OnProgress(Progress{Stage: "shard", Done: shardsDone, Total: k})
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < k; s++ {
+		firstChunk, lastChunk := s*nc/k, (s+1)*nc/k
+		from, _ := variation.ChunkRange(p.Trials, firstChunk)
+		_, to := variation.ChunkRange(p.Trials, lastChunk-1)
+		allResumed := true
+		for c := firstChunk; c < lastChunk; c++ {
+			if !resumed[c] {
+				allResumed = false
+				break
+			}
+		}
+		if allResumed {
+			mu.Lock()
+			emitShard()
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(s int, sub *Spec) {
+			defer wg.Done()
+			r, err := runShard(ctx, s, sub)
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil && (r == nil || r.MC == nil) {
+				err = fmt.Errorf("shard returned no mc outcome")
+			}
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("jobspec: shard %d [%d,%d): %w", s, sub.MC.Range.From, sub.MC.Range.To, err)
+				}
+				return
+			}
+			if r.Partial && !res.Partial {
+				res.Partial = true
+				res.Warning = r.Warning
+			}
+			for _, st := range r.MC.Chunks {
+				if _, ok := byChunk[st.Chunk]; ok {
+					continue // a resumed chunk wins; identical by construction
+				}
+				byChunk[st.Chunk] = st
+				emitCheckpoint(opts, st)
+			}
+			emitShard()
+		}(s, shardSpec(spec, from, to))
+	}
+	wg.Wait()
+	if firstErr != nil && ctx.Err() == nil {
+		return firstErr
+	}
+
+	merged := &variation.MCStats{}
+	for c := 0; c < nc; c++ {
+		if st, ok := byChunk[c]; ok {
+			merged.Merge(&st.Stats)
+		}
+	}
+	mc := &variation.MCResult{
+		N:         p.Trials,
+		Stats:     merged,
+		NaNs:      merged.NaNs,
+		Failures:  merged.Failures,
+		Cancelled: p.Trials - merged.Completed(),
+		Elapsed:   time.Since(start),
+		Resumed:   len(resume),
+	}
+	if mc.Cancelled > 0 {
+		res.Partial = true
+		if res.Warning == "" {
+			res.Warning = fmt.Sprintf("%v after %d/%d trials", variation.ErrCancelled, merged.Completed(), p.Trials)
+		}
+	}
+	out := mcOutcome(p, mc, nil)
+	out.Shards = k
 	res.MC = out
 	return nil
+}
+
+// shardSpec derives the trial-range sub-spec one shard executes: the
+// same campaign (netlist, seed, total trials, spec bounds — hence the
+// same chunk grid and RNG substreams), restricted to [from, to) and
+// never itself sharded.
+func shardSpec(spec *Spec, from, to int) *Spec {
+	c := *spec
+	mc := *spec.MC
+	mc.Range = &TrialRange{From: from, To: to}
+	mc.Shards = 0
+	c.MC = &mc
+	return &c
 }
 
 func executeCorners(deck *netlist.Deck, spec *Spec, res *Result) error {

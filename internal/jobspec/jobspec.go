@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/variation"
 )
 
 // SpecVersion is the current schema version. Version 0 in an incoming
@@ -178,6 +180,27 @@ type MCParams struct {
 	// value, so CanonicalHash excludes it and two submissions differing
 	// only in batch share a cache entry.
 	Batch int `json:"batch,omitempty"`
+	// Shards splits the campaign into that many trial-range sub-jobs
+	// executed concurrently (locally or on peer servers) and scatter-
+	// gathered into one result. Like Batch it is an execution knob —
+	// mean/std/yield are bit-identical for any shard count and quantiles
+	// stay within the sketch's rank-error bound — so CanonicalHash
+	// excludes it. 0 or 1 means unsharded.
+	Shards int `json:"shards,omitempty"`
+	// Range restricts execution to a chunk-aligned trial sub-range of the
+	// campaign grid — the form a shard sub-job takes. Unlike Shards it IS
+	// part of CanonicalHash: a sub-range is different work, not a
+	// different way of running the same work. Trials stays the TOTAL
+	// campaign count (it defines the grid and every trial's RNG stream);
+	// Range selects which slice of it this execution computes.
+	Range *TrialRange `json:"range,omitempty"`
+}
+
+// TrialRange is a half-open global trial range [From, To) on the
+// campaign chunk grid (see variation.ChunkSize).
+type TrialRange struct {
+	From int `json:"from"`
+	To   int `json:"to"`
 }
 
 // SpecLo returns the lower spec bound (-Inf when unset).
@@ -296,19 +319,22 @@ func (s *Spec) ApplyDefaults() {
 
 // CanonicalHash returns the spec's content address: the hex SHA-256 of
 // its canonical JSON encoding with the execution-only fields cleared —
-// NoCache (cache control) and MC.Batch (deck-reuse chunking, which never
-// changes a result). Everything that influences an execution's outcome —
-// version, analysis kind, netlist text, record list, seed, timeout and
-// the parameter blocks — is part of the hash; two specs with equal hashes
-// describe the same deterministic computation, which is what makes the
-// hash usable as a result-cache key. Call ApplyDefaults first so that a
-// sparse document and its fully-explicit twin hash identically.
+// NoCache (cache control), MC.Batch (deck-reuse chunking) and MC.Shards
+// (scatter-gather fan-out), none of which changes a result. Everything
+// that influences an execution's outcome — version, analysis kind,
+// netlist text, record list, seed, timeout and the parameter blocks,
+// including MC.Range (a trial sub-range is different work) — is part of
+// the hash; two specs with equal hashes describe the same deterministic
+// computation, which is what makes the hash usable as a result-cache
+// key. Call ApplyDefaults first so that a sparse document and its
+// fully-explicit twin hash identically.
 func (s *Spec) CanonicalHash() string {
 	c := *s
 	c.NoCache = false
-	if c.MC != nil && c.MC.Batch != 0 {
+	if c.MC != nil && (c.MC.Batch != 0 || c.MC.Shards != 0) {
 		mc := *c.MC
 		mc.Batch = 0
+		mc.Shards = 0
 		c.MC = &mc
 	}
 	// Spec marshals deterministically: fixed struct field order, no maps,
@@ -380,6 +406,21 @@ func (s *Spec) Validate() error {
 		}
 		if s.MC.Lo != nil && s.MC.Hi != nil && *s.MC.Lo > *s.MC.Hi {
 			return fmt.Errorf("jobspec: mc spec lo %g above hi %g", *s.MC.Lo, *s.MC.Hi)
+		}
+		if s.MC.Shards < 0 {
+			return fmt.Errorf("jobspec: mc needs shards >= 0 (0 or 1 means unsharded)")
+		}
+		if r := s.MC.Range; r != nil {
+			if s.MC.Shards > 1 {
+				return fmt.Errorf("jobspec: mc range and shards > 1 are mutually exclusive (a shard sub-job cannot itself shard)")
+			}
+			if r.From < 0 || r.To <= r.From || r.To > s.MC.Trials {
+				return fmt.Errorf("jobspec: mc range [%d,%d) outside [0,%d)", r.From, r.To, s.MC.Trials)
+			}
+			cs := variation.ChunkSize(s.MC.Trials)
+			if r.From%cs != 0 || (r.To%cs != 0 && r.To != s.MC.Trials) {
+				return fmt.Errorf("jobspec: mc range [%d,%d) not aligned to the %d-trial chunk grid", r.From, r.To, cs)
+			}
 		}
 	case KindCorners:
 		if s.Corners == nil || s.Corners.Node == "" {

@@ -95,14 +95,29 @@ type DeviceDamage struct {
 type MCOutcome struct {
 	Node      string `json:"node"`
 	Requested int    `json:"requested"`
-	// Values holds every successful trial's metric in trial order.
-	Values    []float64 `json:"values"`
+	// Values holds every successful trial's metric in trial order. Sharded
+	// and resumed campaigns do not ship per-trial values — they report
+	// from Stats instead, and Values is absent.
+	Values    []float64 `json:"values,omitempty"`
 	Failures  int       `json:"failures"`
 	NaNs      int       `json:"nans"`
 	Cancelled int       `json:"cancelled"`
 	// Elapsed is the Monte-Carlo engine's own wall time (excludes deck
 	// parsing and the nominal warm-start solve).
 	Elapsed Duration `json:"elapsed"`
+	// Stats is the mergeable statistical summary (exact moments and
+	// counts, bounded-error quantile sketch). It is the authoritative
+	// accounting when Values is absent.
+	Stats *variation.MCStats `json:"stats,omitempty"`
+	// Chunks carries the per-chunk summaries of a trial-range sub-job so
+	// the dispatching parent can scatter-gather and checkpoint them.
+	// Populated only when the spec had MC.Range set.
+	Chunks []variation.ChunkStat `json:"chunks,omitempty"`
+	// Shards is the scatter-gather fan-out that produced this outcome
+	// (0 for an unsharded run); Resumed counts grid chunks restored from
+	// checkpoints instead of re-run.
+	Shards  int `json:"shards,omitempty"`
+	Resumed int `json:"resumed,omitempty"`
 	// FailuresByKind tallies failed trials by the variation taxonomy
 	// (convergence, panic, cancelled, other).
 	FailuresByKind map[string]int `json:"failures_by_kind,omitempty"`
@@ -115,7 +130,12 @@ type MCOutcome struct {
 }
 
 // Completed returns the number of trials that ran to a verdict.
-func (m *MCOutcome) Completed() int { return len(m.Values) + m.NaNs + m.Failures }
+func (m *MCOutcome) Completed() int {
+	if m.Stats != nil {
+		return m.Stats.Completed()
+	}
+	return len(m.Values) + m.NaNs + m.Failures
+}
 
 // CornersResult is a global-corner sweep of one node voltage.
 type CornersResult struct {

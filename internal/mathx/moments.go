@@ -1,0 +1,85 @@
+package mathx
+
+import "math"
+
+// Moments is a mergeable moment accumulator: count, mean and the centred
+// second moment (M2) maintained with Welford's update, plus the sample
+// extrema. Unlike Running it is JSON-serializable and designed to be the
+// wire unit of distributed Monte-Carlo statistics: per-shard accumulators
+// merge into the campaign total with Merge, which is algebraically exact
+// (the merged mean/variance equal the mean/variance of the concatenated
+// samples up to floating-point rounding of the merge formula itself).
+// Folding the same accumulators in the same order is bit-deterministic,
+// which is what lets a sharded campaign reproduce a single-shard run
+// bit-for-bit when both fold per-chunk moments in global chunk order.
+type Moments struct {
+	Count int64   `json:"n"`
+	Mean  float64 `json:"mean"`
+	M2    float64 `json:"m2"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Add folds one sample into m.
+func (m *Moments) Add(x float64) {
+	m.Count++
+	if m.Count == 1 {
+		m.Min, m.Max = x, x
+	} else {
+		if x < m.Min {
+			m.Min = x
+		}
+		if x > m.Max {
+			m.Max = x
+		}
+	}
+	d := x - m.Mean
+	m.Mean += d / float64(m.Count)
+	m.M2 += d * (x - m.Mean)
+}
+
+// Merge folds other into m, as if every sample behind other had been
+// added to m. The Chan et al. pairwise-update is exact for count, mean
+// and M2; merging is commutative in value but, like any floating-point
+// reduction, only bit-deterministic for a fixed fold order.
+func (m *Moments) Merge(other Moments) {
+	if other.Count == 0 {
+		return
+	}
+	if m.Count == 0 {
+		*m = other
+		return
+	}
+	n1, n2 := float64(m.Count), float64(other.Count)
+	total := n1 + n2
+	delta := other.Mean - m.Mean
+	m.Mean += delta * n2 / total
+	m.M2 += other.M2 + delta*delta*n1*n2/total
+	m.Count += other.Count
+	if other.Min < m.Min {
+		m.Min = other.Min
+	}
+	if other.Max > m.Max {
+		m.Max = other.Max
+	}
+}
+
+// MeanValue returns the accumulated mean (NaN when empty).
+func (m *Moments) MeanValue() float64 {
+	if m.Count == 0 {
+		return math.NaN()
+	}
+	return m.Mean
+}
+
+// Variance returns the unbiased sample variance (NaN with fewer than two
+// samples).
+func (m *Moments) Variance() float64 {
+	if m.Count < 2 {
+		return math.NaN()
+	}
+	return m.M2 / float64(m.Count-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }

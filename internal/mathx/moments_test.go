@@ -1,0 +1,128 @@
+package mathx
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return d
+	}
+	return d / m
+}
+
+// Merging per-chunk moments must agree with the single-pass accumulation
+// to rounding, for every split point.
+func TestMomentsMergeMatchesSequential(t *testing.T) {
+	rng := NewRNG(101)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = 0.55 + 0.02*rng.Norm()
+	}
+	var all Moments
+	for _, x := range xs {
+		all.Add(x)
+	}
+	for _, split := range []int{1, 7, 250, 500, 999} {
+		var a, b Moments
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.Count != all.Count {
+			t.Fatalf("split %d: count %d != %d", split, a.Count, all.Count)
+		}
+		if relDiff(a.Mean, all.Mean) > 1e-12 {
+			t.Errorf("split %d: mean %g vs %g", split, a.Mean, all.Mean)
+		}
+		if relDiff(a.Variance(), all.Variance()) > 1e-9 {
+			t.Errorf("split %d: variance %g vs %g", split, a.Variance(), all.Variance())
+		}
+		if a.Min != all.Min || a.Max != all.Max {
+			t.Errorf("split %d: extrema (%g,%g) vs (%g,%g)", split, a.Min, a.Max, all.Min, all.Max)
+		}
+	}
+}
+
+// A fixed fold order must be bit-deterministic: folding the same chunk
+// accumulators in the same order twice yields identical bits. This is the
+// property the sharded campaign's global chunk grid relies on for
+// bit-identical mean/std across shard counts.
+func TestMomentsFoldOrderBitDeterministic(t *testing.T) {
+	rng := NewRNG(202)
+	chunks := make([]Moments, 16)
+	for c := range chunks {
+		for i := 0; i < 64; i++ {
+			chunks[c].Add(rng.Norm())
+		}
+	}
+	fold := func() Moments {
+		var m Moments
+		for _, c := range chunks {
+			m.Merge(c)
+		}
+		return m
+	}
+	a, b := fold(), fold()
+	if a != b {
+		t.Fatalf("same fold order produced different bits: %+v vs %+v", a, b)
+	}
+}
+
+func TestMomentsMergeEmpty(t *testing.T) {
+	var a, b Moments
+	a.Add(1)
+	a.Add(3)
+	a.Merge(b) // empty other: no-op
+	if a.Count != 2 || a.Mean != 2 {
+		t.Fatalf("merge with empty changed a: %+v", a)
+	}
+	var c Moments
+	c.Merge(a) // empty receiver: copy
+	if c != a {
+		t.Fatalf("empty receiver merge: %+v != %+v", c, a)
+	}
+	if !math.IsNaN(b.MeanValue()) || !math.IsNaN(b.Variance()) {
+		t.Fatal("empty moments should answer NaN")
+	}
+}
+
+func TestMomentsJSONRoundTrip(t *testing.T) {
+	var m Moments
+	for _, x := range []float64{1, 2, 3, 4.5} {
+		m.Add(x)
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Moments
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Fatalf("round trip: %+v != %+v", back, m)
+	}
+}
+
+// Running is a wrapper over Moments: both views must agree.
+func TestRunningExposesMoments(t *testing.T) {
+	var r Running
+	for i := 0; i < 100; i++ {
+		r.Add(float64(i))
+	}
+	m := r.Moments()
+	if int(m.Count) != r.N() || m.MeanValue() != r.Mean() || m.Variance() != r.Variance() {
+		t.Fatalf("Running and Moments views disagree: %+v vs n=%d mean=%g", m, r.N(), r.Mean())
+	}
+}

@@ -27,30 +27,49 @@ const (
 	pcgDefaultInc = 1442695040888963407
 )
 
+// SplitMix64 is the SplitMix64 finalizer: an avalanching bijection on
+// uint64 where flipping any input bit flips ~half the output bits. Seed
+// and stream derivation pass through it so that adjacent seeds or
+// adjacent shard/stream indices — the natural numbering of a sharded
+// Monte-Carlo campaign — land on uncorrelated generator states instead of
+// states one increment apart.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // NewRNG returns a generator seeded with seed. The same seed always yields
-// the same sequence.
+// the same sequence. The seed is mixed through SplitMix64, so sequential
+// seeds (1, 2, 3, …) start from statistically unrelated states.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{inc: pcgDefaultInc}
-	r.state = seed + r.inc
+	r.state = SplitMix64(seed) + r.inc
 	r.Uint64()
 	return r
 }
 
 // NewRNGStream returns a generator on an explicit stream; generators with
 // different stream values produce uncorrelated sequences even for the same
-// seed.
+// seed. Both seed and stream are mixed through SplitMix64 before use —
+// without the mix the PCG increment of stream i and the state of seed s
+// differ from stream i+1 / seed s+1 by small constants, and such nearly-
+// identical (state, inc) pairs yield visibly correlated output prefixes.
 func NewRNGStream(seed, stream uint64) *RNG {
-	r := &RNG{inc: (stream << 1) | 1}
-	r.state = seed + r.inc
+	r := &RNG{inc: (SplitMix64(stream) << 1) | 1}
+	r.state = SplitMix64(seed) + r.inc
 	r.Uint64()
 	return r
 }
 
 // Split derives the i-th child stream from r without disturbing r's own
 // sequence position. Children are independent of each other and of the
-// parent.
+// parent; NewRNGStream's SplitMix64 mix decorrelates adjacent child
+// indices, which is what makes per-trial substreams indexed by the global
+// trial number safe for variance estimation.
 func (r *RNG) Split(i uint64) *RNG {
-	return NewRNGStream(r.state^0x9e3779b97f4a7c15, 2*i+1)
+	return NewRNGStream(r.state^0x9e3779b97f4a7c15, i)
 }
 
 // Uint64 returns the next raw 64-bit value, combining two PCG-XSH-RR

@@ -165,3 +165,82 @@ func TestRNGFloat64OpenNeverZero(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// streamCorr returns the Pearson correlation between the first n uniforms
+// of two generators.
+func streamCorr(a, b *RNG, n int) float64 {
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = a.Float64()
+		ys[i] = b.Float64()
+	}
+	return Correlation(xs, ys)
+}
+
+// Adjacent seeds must produce uncorrelated streams. Without the SplitMix64
+// mix, NewRNG(s) and NewRNG(s+1) start from states one apart, which is
+// exactly the pattern a naive per-shard "seed+shard" derivation produces.
+func TestRNGAdjacentSeedsUncorrelated(t *testing.T) {
+	const n = 4096
+	for seed := uint64(1); seed < 8; seed++ {
+		c := streamCorr(NewRNG(seed), NewRNG(seed+1), n)
+		// |r| for independent samples is ~N(0, 1/sqrt(n)); 5/sqrt(n) is a
+		// >5-sigma bound that a correlated pair fails by orders of magnitude.
+		if math.Abs(c) > 5/math.Sqrt(n) {
+			t.Errorf("seeds %d/%d: correlation %g", seed, seed+1, c)
+		}
+	}
+}
+
+// Adjacent explicit streams of the same seed must be uncorrelated — the
+// substream pattern of a sharded campaign (one stream per shard).
+func TestRNGAdjacentStreamsUncorrelated(t *testing.T) {
+	const n = 4096
+	for stream := uint64(0); stream < 8; stream++ {
+		c := streamCorr(NewRNGStream(7, stream), NewRNGStream(7, stream+1), n)
+		if math.Abs(c) > 5/math.Sqrt(n) {
+			t.Errorf("streams %d/%d: correlation %g", stream, stream+1, c)
+		}
+	}
+}
+
+// Adjacent Split children — per-trial substreams indexed by the global
+// trial number — must be pairwise uncorrelated.
+func TestRNGSplitChildrenUncorrelated(t *testing.T) {
+	const n = 4096
+	parent := NewRNG(99)
+	for i := uint64(0); i < 8; i++ {
+		c := streamCorr(parent.Split(i), parent.Split(i+1), n)
+		if math.Abs(c) > 5/math.Sqrt(n) {
+			t.Errorf("children %d/%d: correlation %g", i, i+1, c)
+		}
+	}
+}
+
+func TestSplitMix64Avalanche(t *testing.T) {
+	// Flipping one input bit must flip a substantial fraction of output
+	// bits (avalanche), averaged over inputs and bit positions.
+	total := 0
+	const trials = 64
+	for i := uint64(0); i < trials; i++ {
+		x := i * 0x9e3779b97f4a7c15
+		for bit := uint(0); bit < 64; bit++ {
+			diff := SplitMix64(x) ^ SplitMix64(x^(1<<bit))
+			total += popcount64(diff)
+		}
+	}
+	avg := float64(total) / float64(trials*64)
+	if avg < 24 || avg > 40 {
+		t.Fatalf("avalanche average %.1f bits, want ~32", avg)
+	}
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -215,95 +215,52 @@ func (h *Histogram) BinCenter(i int) float64 {
 }
 
 // Running accumulates streaming mean/variance via Welford's algorithm, so
-// Monte-Carlo loops can track statistics without storing every sample.
+// Monte-Carlo loops can track statistics without storing every sample. It
+// is a thin unexported-state wrapper around Moments, which is the
+// JSON-serializable form used when statistics must cross a process
+// boundary (sharded campaigns, checkpoints).
 type Running struct {
-	n    int
-	mean float64
-	m2   float64
-	min  float64
-	max  float64
+	m Moments
 }
 
 // Add records one sample.
-func (r *Running) Add(x float64) {
-	r.n++
-	if r.n == 1 {
-		r.min, r.max = x, x
-	} else {
-		if x < r.min {
-			r.min = x
-		}
-		if x > r.max {
-			r.max = x
-		}
-	}
-	d := x - r.mean
-	r.mean += d / float64(r.n)
-	r.m2 += d * (x - r.mean)
-}
+func (r *Running) Add(x float64) { r.m.Add(x) }
 
 // N returns the sample count.
-func (r *Running) N() int { return r.n }
+func (r *Running) N() int { return int(r.m.Count) }
 
 // Mean returns the running mean (NaN when empty).
-func (r *Running) Mean() float64 {
-	if r.n == 0 {
-		return math.NaN()
-	}
-	return r.mean
-}
+func (r *Running) Mean() float64 { return r.m.MeanValue() }
 
 // Variance returns the unbiased running variance (NaN with fewer than two
 // samples).
-func (r *Running) Variance() float64 {
-	if r.n < 2 {
-		return math.NaN()
-	}
-	return r.m2 / float64(r.n-1)
-}
+func (r *Running) Variance() float64 { return r.m.Variance() }
 
 // StdDev returns the running standard deviation.
 func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
 
 // Min returns the smallest sample seen (NaN when empty).
 func (r *Running) Min() float64 {
-	if r.n == 0 {
+	if r.m.Count == 0 {
 		return math.NaN()
 	}
-	return r.min
+	return r.m.Min
 }
 
 // Max returns the largest sample seen (NaN when empty).
 func (r *Running) Max() float64 {
-	if r.n == 0 {
+	if r.m.Count == 0 {
 		return math.NaN()
 	}
-	return r.max
+	return r.m.Max
 }
+
+// Moments returns a copy of the underlying mergeable accumulator.
+func (r *Running) Moments() Moments { return r.m }
 
 // Merge folds other into r, as if all of other's samples had been added to
 // r. This combines per-worker statistics from parallel Monte-Carlo runs.
-func (r *Running) Merge(other *Running) {
-	if other.n == 0 {
-		return
-	}
-	if r.n == 0 {
-		*r = *other
-		return
-	}
-	n1, n2 := float64(r.n), float64(other.n)
-	delta := other.mean - r.mean
-	total := n1 + n2
-	r.mean += delta * n2 / total
-	r.m2 += other.m2 + delta*delta*n1*n2/total
-	r.n += other.n
-	if other.min < r.min {
-		r.min = other.min
-	}
-	if other.max > r.max {
-		r.max = other.max
-	}
-}
+func (r *Running) Merge(other *Running) { r.m.Merge(other.m) }
 
 // KSStatistic returns the one-sample Kolmogorov-Smirnov statistic D: the
 // largest distance between the empirical CDF of xs and the distribution's

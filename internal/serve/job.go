@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/jobspec"
 	"repro/internal/store"
+	"repro/internal/variation"
 )
 
 // State is a job's lifecycle state. The machine is strictly forward:
@@ -65,6 +66,12 @@ type Job struct {
 	cancel          context.CancelFunc // non-nil while running
 	events          []Event
 	changed         chan struct{}
+
+	// resume holds journaled campaign checkpoint payloads recovered from
+	// the store — chunks the previous process completed before it died.
+	// Written once in restoredJob before the job is published, read once
+	// by the worker; the queue hand-off orders the two.
+	resume []json.RawMessage
 }
 
 func newJob(id string, spec *jobspec.Spec, hash string, now time.Time) *Job {
@@ -96,12 +103,25 @@ func newCachedJob(id string, spec *jobspec.Spec, hash string, result json.RawMes
 	return j
 }
 
+// resumable reports whether a recovered job can be re-run to a verdict
+// instead of being finalized. Monte-Carlo campaigns checkpoint whole
+// grid chunks, so an interrupted one re-enqueues with its journaled
+// chunks and re-runs at most the chunk that was in flight; the other
+// analyses have no checkpoint grid and keep the fail-with-cause path.
+func resumable(r store.RecoveredJob) bool {
+	return r.State == store.StateInterrupted &&
+		r.Spec != nil && r.Spec.Analysis == jobspec.KindMC && r.Spec.MC != nil
+}
+
 // restoredJob rebuilds a Job from its journaled lifecycle after a
 // restart. Per-trial progress events are not journaled, so the restored
-// job carries a condensed event log of its lifecycle transitions. A job
-// that was running when the previous process died is finalized as
-// failed with a structured InterruptedError, keeping whatever partial
-// result snapshot reached the disk.
+// job carries a condensed event log of its lifecycle transitions. A
+// Monte-Carlo campaign that was running when the previous process died
+// goes back on the queue carrying its journaled checkpoints — this is
+// the fix for the all-or-nothing campaign loss, where every interrupted
+// run was finalized as failed with an InterruptedError. Interrupted
+// jobs of other analysis kinds still take that path, keeping whatever
+// partial result snapshot reached the disk.
 func restoredJob(r store.RecoveredJob, now time.Time) *Job {
 	j := &Job{
 		ID: r.ID, Spec: r.Spec, specHash: r.Hash,
@@ -114,6 +134,16 @@ func restoredJob(r store.RecoveredJob, now time.Time) *Job {
 	case store.StateQueued:
 		// Stays queued; the server re-enqueues it behind the workers.
 	case store.StateInterrupted:
+		if resumable(r) {
+			for _, cp := range r.Checkpoints {
+				j.resume = append(j.resume, cp.Data)
+			}
+			// The event log records how much of the campaign survived the
+			// crash; the worker's execution will resume from there.
+			j.appendLocked(Event{Type: "progress", Stage: "resume",
+				Done: len(r.Checkpoints), Total: variation.NumChunks(r.Spec.MC.Trials)})
+			break
+		}
 		j.state = StateFailed
 		j.started = r.Started
 		j.finished = now

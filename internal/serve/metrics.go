@@ -20,40 +20,52 @@ import (
 //	serve_jobs_failed_total           count  jobs that errored or panicked
 //	serve_jobs_cancelled_total        count  jobs cancelled (client DELETE or shutdown drain)
 //	serve_jobs_evicted_total          count  terminal jobs evicted by the retention policy
+//	serve_jobs_resumed_total          count  interrupted campaigns re-enqueued with their checkpoints
+//	serve_checkpoints_total           count  campaign chunk checkpoints journaled by workers
+//	serve_shards_dispatched_total     count  campaign shards answered by peer servers
+//	serve_shard_fallbacks_total       count  peer shard dispatches that fell back to local execution
 //	serve_store_errors_total          count  store writes that failed (job state stays in memory)
 //	serve_queue_depth                 gauge  jobs waiting in the bounded queue
 //	serve_jobs_inflight               gauge  jobs currently executing on the worker pool
 //	serve_job_seconds                 s      submit→finish latency of finished jobs
 //	serve_queue_wait_seconds          s      submit→start wait of started jobs
 type metrics struct {
-	reg         *obs.Registry
-	submitted   *obs.Counter
-	rejected    *obs.Counter
-	done        *obs.Counter
-	failed      *obs.Counter
-	cancelled   *obs.Counter
-	evicted     *obs.Counter
-	storeErrors *obs.Counter
-	depth       *obs.Gauge
-	inflight    *obs.Gauge
-	jobSecs     *obs.Histogram
-	waitSecs    *obs.Histogram
+	reg              *obs.Registry
+	submitted        *obs.Counter
+	rejected         *obs.Counter
+	done             *obs.Counter
+	failed           *obs.Counter
+	cancelled        *obs.Counter
+	evicted          *obs.Counter
+	resumed          *obs.Counter
+	checkpoints      *obs.Counter
+	shardsDispatched *obs.Counter
+	shardFallbacks   *obs.Counter
+	storeErrors      *obs.Counter
+	depth            *obs.Gauge
+	inflight         *obs.Gauge
+	jobSecs          *obs.Histogram
+	waitSecs         *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
 	return &metrics{
-		reg:         reg,
-		submitted:   reg.Counter("serve_jobs_submitted_total", "1", "jobs accepted into the queue"),
-		rejected:    reg.Counter("serve_jobs_rejected_total", "1", "submissions rejected with backpressure"),
-		done:        reg.Counter("serve_jobs_done_total", "1", "jobs finished successfully"),
-		failed:      reg.Counter("serve_jobs_failed_total", "1", "jobs that errored or panicked"),
-		cancelled:   reg.Counter("serve_jobs_cancelled_total", "1", "jobs cancelled by client or shutdown"),
-		evicted:     reg.Counter("serve_jobs_evicted_total", "1", "terminal jobs evicted by the retention policy"),
-		storeErrors: reg.Counter("serve_store_errors_total", "1", "store writes that failed"),
-		depth:       reg.Gauge("serve_queue_depth", "1", "jobs waiting in the bounded queue"),
-		inflight:    reg.Gauge("serve_jobs_inflight", "1", "jobs currently executing"),
-		jobSecs:     reg.Histogram("serve_job_seconds", "s", "submit-to-finish job latency", nil),
-		waitSecs:    reg.Histogram("serve_queue_wait_seconds", "s", "submit-to-start queue wait", nil),
+		reg:              reg,
+		submitted:        reg.Counter("serve_jobs_submitted_total", "1", "jobs accepted into the queue"),
+		rejected:         reg.Counter("serve_jobs_rejected_total", "1", "submissions rejected with backpressure"),
+		done:             reg.Counter("serve_jobs_done_total", "1", "jobs finished successfully"),
+		failed:           reg.Counter("serve_jobs_failed_total", "1", "jobs that errored or panicked"),
+		cancelled:        reg.Counter("serve_jobs_cancelled_total", "1", "jobs cancelled by client or shutdown"),
+		evicted:          reg.Counter("serve_jobs_evicted_total", "1", "terminal jobs evicted by the retention policy"),
+		resumed:          reg.Counter("serve_jobs_resumed_total", "1", "interrupted campaigns re-enqueued with their checkpoints"),
+		checkpoints:      reg.Counter("serve_checkpoints_total", "1", "campaign chunk checkpoints journaled by workers"),
+		shardsDispatched: reg.Counter("serve_shards_dispatched_total", "1", "campaign shards answered by peer servers"),
+		shardFallbacks:   reg.Counter("serve_shard_fallbacks_total", "1", "peer shard dispatches that fell back to local execution"),
+		storeErrors:      reg.Counter("serve_store_errors_total", "1", "store writes that failed"),
+		depth:            reg.Gauge("serve_queue_depth", "1", "jobs waiting in the bounded queue"),
+		inflight:         reg.Gauge("serve_jobs_inflight", "1", "jobs currently executing"),
+		jobSecs:          reg.Histogram("serve_job_seconds", "s", "submit-to-finish job latency", nil),
+		waitSecs:         reg.Histogram("serve_queue_wait_seconds", "s", "submit-to-start queue wait", nil),
 	}
 }
 

@@ -61,9 +61,11 @@ func compactJSON(t *testing.T, b []byte) string {
 // TestCrashRecovery kills a server mid-campaign — one job done, one
 // running, one queued, all journaled — and restarts against the same
 // data directory: the done job must be served without recomputation and
-// byte-identical, the running job must fail with a structured
-// interrupted error, and the queued job must re-run to the same seeded
-// values a direct execution produces.
+// byte-identical, the running Monte-Carlo campaign must be re-enqueued
+// and run to a verdict (no checkpoints reached the disk, so it re-runs
+// in full — but it no longer manufactures an InterruptedError), and the
+// queued job must re-run to the same seeded values a direct execution
+// produces.
 func TestCrashRecovery(t *testing.T) {
 	dir := t.TempDir()
 	reg1 := obs.NewRegistry()
@@ -156,13 +158,22 @@ func TestCrashRecovery(t *testing.T) {
 		t.Errorf("restore counted %d submissions; recovered jobs are not resubmissions", n)
 	}
 
-	// B: failed with the structured interrupted cause.
-	rb := getJob(t, ts2, b.ID)
-	if rb.State != StateFailed {
-		t.Fatalf("recovered job B = %s, want failed", rb.State)
+	// B: the fix — the interrupted campaign re-enqueues (here with zero
+	// journaled checkpoints, so it re-runs in full) and reaches a real
+	// verdict instead of an InterruptedError.
+	rb := waitTerminal(t, ts2, b.ID)
+	if rb.State != StateDone {
+		t.Fatalf("recovered job B = %s (error %q), want the campaign re-run to done", rb.State, rb.Error)
 	}
-	if !strings.Contains(rb.Error, "interrupted") || !strings.Contains(rb.Error, b.ID) {
-		t.Errorf("job B error = %q, want a structured interrupted cause", rb.Error)
+	var gotB jobspec.Result
+	if err := json.Unmarshal(rb.Result, &gotB); err != nil {
+		t.Fatal(err)
+	}
+	if gotB.MC == nil || gotB.MC.Completed() != blockTrials {
+		t.Fatalf("resumed job B = %+v, want %d completed trials", gotB.MC, blockTrials)
+	}
+	if n, _ := reg2.Snapshot().Counter("serve_jobs_resumed_total"); n != 1 {
+		t.Errorf("serve_jobs_resumed_total = %d, want 1", n)
 	}
 
 	// C: re-enqueued and re-run; the seeded trials land on the same
@@ -321,19 +332,31 @@ func TestRetentionBoundsTerminalJobs(t *testing.T) {
 			ids = append(ids, v.ID)
 		}
 
-		resp, err := http.Get(ts.URL + "/v1/jobs")
-		if err != nil {
-			t.Fatal(err)
-		}
+		// Retention runs in the worker goroutine after the terminal state
+		// is already visible (with a store, the fsync'd terminal record
+		// sits between the two), so the list converges to the bound rather
+		// than hitting it atomically with the final job's completion.
 		var list struct {
 			Jobs []View `json:"jobs"`
 		}
-		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if len(list.Jobs) != 2 {
-			t.Fatalf("list holds %d jobs, want the 2 retained: %+v", len(list.Jobs), list.Jobs)
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(ts.URL + "/v1/jobs")
+			if err != nil {
+				t.Fatal(err)
+			}
+			list.Jobs = nil
+			if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if len(list.Jobs) == 2 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("list holds %d jobs, want the 2 retained: %+v", len(list.Jobs), list.Jobs)
+			}
+			time.Sleep(2 * time.Millisecond)
 		}
 		if list.Jobs[0].ID != ids[3] || list.Jobs[1].ID != ids[4] {
 			t.Errorf("retained %s/%s, want the newest %s/%s",

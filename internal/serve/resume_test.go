@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io/fs"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobspec"
+	"repro/internal/obs"
+)
+
+// copyTree snapshots a data directory file by file — the disk image a
+// SIGKILLed process leaves behind.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(src, p)
+		if rerr != nil {
+			return rerr
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, rerr := os.ReadFile(p)
+		if rerr != nil {
+			return rerr
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillAndResumeCampaign is the end-to-end acceptance run for the
+// checkpoint/resume path, under -race via `make race-shard`: a server
+// is "SIGKILLed" mid-campaign (its data directory copied out from under
+// it while the executor is frozen between chunks), and a fresh server
+// over that disk image must finish the campaign from the last
+// journaled checkpoint — re-running only the chunks past it, with the
+// merged moments bit-identical to an uninterrupted run.
+func TestKillAndResumeCampaign(t *testing.T) {
+	dirA := t.TempDir()
+	regA := obs.NewRegistry()
+	stA := mustStore(t, dirA, regA)
+
+	const trials = 96 // chunk size 24 → a 4-chunk campaign grid
+	spec := mcSpec(trials)
+	spec.Seed = 21
+
+	// The real engine runs the trials; only the checkpoint hook is
+	// intercepted, freezing the campaign right after chunk 1 is fsync'd
+	// to the journal — the moment a SIGKILL would hurt the most.
+	frozen := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	exec := func(ctx context.Context, sp *jobspec.Spec, opts jobspec.Options) (*jobspec.Result, error) {
+		inner := opts.OnCheckpoint
+		opts.OnCheckpoint = func(cp jobspec.Checkpoint) {
+			if inner != nil {
+				inner(cp)
+			}
+			if cp.Seq == 1 {
+				once.Do(func() { close(frozen) })
+				<-release
+			}
+		}
+		return jobspec.ExecuteOpts(ctx, sp, opts)
+	}
+	sA := NewServer(Config{QueueDepth: 2, Workers: 1, Store: stA, Registry: regA, Execute: exec})
+	tsA := httptest.NewServer(sA)
+	t.Cleanup(func() {
+		close(release)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = sA.Shutdown(ctx)
+		tsA.Close()
+		stA.Close()
+	})
+
+	_, v := submit(t, tsA, spec)
+	select {
+	case <-frozen:
+	case <-time.After(30 * time.Second):
+		t.Fatal("campaign never journaled its second checkpoint")
+	}
+
+	// The "kill": the journal is quiesced (the worker is blocked inside
+	// the checkpoint hook, after the append+fsync), so the copy is
+	// exactly the disk image of a process that died right here.
+	dirB := t.TempDir()
+	copyTree(t, dirA, dirB)
+
+	regB := obs.NewRegistry()
+	stB := mustStore(t, dirB, regB)
+	t.Cleanup(func() { stB.Close() })
+	sB := NewServer(Config{QueueDepth: 2, Workers: 1, Store: stB, Registry: regB})
+	tsB := httptest.NewServer(sB)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = sB.Shutdown(ctx)
+		tsB.Close()
+	})
+
+	if n, _ := regB.Snapshot().Counter("serve_jobs_resumed_total"); n != 1 {
+		t.Errorf("serve_jobs_resumed_total = %d, want 1", n)
+	}
+	fin := waitTerminal(t, tsB, v.ID)
+	if fin.State != StateDone {
+		t.Fatalf("resumed campaign = %s (error %q), want done", fin.State, fin.Error)
+	}
+	var got jobspec.Result
+	if err := json.Unmarshal(fin.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.MC == nil || got.MC.Stats == nil {
+		t.Fatalf("resumed result carries no campaign stats: %+v", got.MC)
+	}
+	if got.MC.Resumed != 2 {
+		t.Errorf("resumed %d chunks, want the 2 that were journaled", got.MC.Resumed)
+	}
+	if got.MC.Completed() != trials {
+		t.Errorf("resumed campaign completed %d trials, want %d", got.MC.Completed(), trials)
+	}
+	// At most one chunk of re-work: the restarted server executed (and
+	// re-journaled) only the 2 chunks past the last checkpoint, never the
+	// 2 it inherited.
+	if n, _ := regB.Snapshot().Counter("serve_checkpoints_total"); n != 2 {
+		t.Errorf("restarted server journaled %d checkpoints, want only the 2 remaining chunks", n)
+	}
+
+	// The merge-exactness contract: the resumed verdict's moments are
+	// bit-identical to an uninterrupted run of the identical spec.
+	ref := mcSpec(trials)
+	ref.Seed = 21
+	ref.ApplyDefaults()
+	want, err := jobspec.Execute(context.Background(), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.MC == nil || want.MC.Stats == nil {
+		t.Fatalf("reference run carries no stats: %+v", want.MC)
+	}
+	if got.MC.Stats.Moments != want.MC.Stats.Moments {
+		t.Errorf("resumed moments\n%+v\ndiffer from the uninterrupted run's\n%+v",
+			got.MC.Stats.Moments, want.MC.Stats.Moments)
+	}
+}
+
+// TestShardedCampaignPeerDispatch runs a k=4 campaign whose shards are
+// dispatched to a peer job server over HTTP and scatter-gathered back:
+// every shard must be answered by the peer, and the merged moments must
+// be bit-identical to an unsharded local run.
+func TestShardedCampaignPeerDispatch(t *testing.T) {
+	regPeer := obs.NewRegistry()
+	_, tsPeer := newTestServer(t, Config{QueueDepth: 16, Workers: 2, Registry: regPeer})
+
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{QueueDepth: 4, Workers: 1, Registry: reg, Peers: []string{tsPeer.URL}})
+
+	spec := mcSpec(96)
+	spec.Seed = 33
+	spec.MC.Shards = 4
+	_, v := submit(t, ts, spec)
+	fin := waitTerminal(t, ts, v.ID)
+	if fin.State != StateDone {
+		t.Fatalf("sharded campaign = %s (error %q), want done", fin.State, fin.Error)
+	}
+	var got jobspec.Result
+	if err := json.Unmarshal(fin.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.MC == nil || got.MC.Stats == nil || got.MC.Shards != 4 {
+		t.Fatalf("sharded outcome = %+v, want stats from a 4-way fan-out", got.MC)
+	}
+	if got.MC.Completed() != 96 {
+		t.Errorf("sharded campaign completed %d trials, want 96", got.MC.Completed())
+	}
+	if n, _ := reg.Snapshot().Counter("serve_shards_dispatched_total"); n != 4 {
+		t.Errorf("serve_shards_dispatched_total = %d, want 4", n)
+	}
+	if n, _ := reg.Snapshot().Counter("serve_shard_fallbacks_total"); n != 0 {
+		t.Errorf("serve_shard_fallbacks_total = %d, want 0", n)
+	}
+	// The peer actually executed the trial-range sub-jobs.
+	if n, _ := regPeer.Snapshot().Counter("serve_jobs_submitted_total"); n != 4 {
+		t.Errorf("peer accepted %d sub-jobs, want 4", n)
+	}
+
+	ref := mcSpec(96)
+	ref.Seed = 33
+	ref.ApplyDefaults()
+	want, err := jobspec.Execute(context.Background(), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MC.Stats.Moments != want.MC.Stats.Moments {
+		t.Errorf("peer-sharded moments\n%+v\ndiffer from the unsharded run's\n%+v",
+			got.MC.Stats.Moments, want.MC.Stats.Moments)
+	}
+}
+
+// TestShardPeerFallbackLocal points Peers at an address nothing listens
+// on: every dispatch must fall back to local execution and the campaign
+// must still complete — a dead peer costs throughput, never the result.
+func TestShardPeerFallbackLocal(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{QueueDepth: 4, Workers: 1, Registry: reg,
+		Peers: []string{"http://127.0.0.1:1"}})
+
+	spec := mcSpec(96)
+	spec.Seed = 34
+	spec.MC.Shards = 2
+	_, v := submit(t, ts, spec)
+	fin := waitTerminal(t, ts, v.ID)
+	if fin.State != StateDone {
+		t.Fatalf("campaign with a dead peer = %s (error %q), want local fallback to done", fin.State, fin.Error)
+	}
+	var got jobspec.Result
+	if err := json.Unmarshal(fin.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.MC == nil || got.MC.Completed() != 96 {
+		t.Fatalf("fallback campaign = %+v, want 96 completed trials", got.MC)
+	}
+	if n, _ := reg.Snapshot().Counter("serve_shard_fallbacks_total"); n != 2 {
+		t.Errorf("serve_shard_fallbacks_total = %d, want 2", n)
+	}
+	if n, _ := reg.Snapshot().Counter("serve_shards_dispatched_total"); n != 0 {
+		t.Errorf("serve_shards_dispatched_total = %d, want 0", n)
+	}
+}

@@ -59,10 +59,20 @@ type Config struct {
 	// Store persists job lifecycles and results to disk and provides the
 	// spec-keyed result cache (nil = in-memory only, no cache). Jobs
 	// recovered by store.Open are restored by NewServer: terminal jobs
-	// are served without recomputation, queued jobs are re-enqueued, and
-	// jobs interrupted mid-run are failed with a structured
-	// InterruptedError.
+	// are served without recomputation, queued jobs are re-enqueued,
+	// Monte-Carlo campaigns interrupted mid-run are re-enqueued with
+	// their journaled chunk checkpoints and resumed, and interrupted
+	// jobs of other kinds are failed with a structured InterruptedError.
+	// Workers journal one checkpoint per completed campaign chunk, so a
+	// crash loses at most the chunk that was in flight.
 	Store *store.Store
+	// Peers lists base URLs of other relsim job servers (e.g.
+	// "http://host:9090") that campaign shards are dispatched to when a
+	// spec sets mc.shards > 1: shard k goes to Peers[k mod len(Peers)]
+	// as a trial-range sub-job. A peer failure falls back to executing
+	// that shard locally, so a dead peer degrades throughput, never
+	// correctness. Empty = every shard runs in this process.
+	Peers []string
 	// MaxTerminalJobs bounds the retained terminal jobs (default 512,
 	// negative = unbounded); the oldest are evicted first. Queued and
 	// running jobs are never evicted. This is what keeps a long-running
@@ -118,11 +128,12 @@ func NewServer(cfg Config) *Server {
 	if cfg.Store != nil {
 		recovered = cfg.Store.Recovered()
 	}
-	// A restart may hand back more queued jobs than the configured depth;
-	// the queue grows to fit them so recovery never drops accepted work.
-	// Admission backpressure still kicks in at the same occupancy.
+	// A restart may hand back more runnable jobs (queued plus resumable
+	// campaigns) than the configured depth; the queue grows to fit them
+	// so recovery never drops accepted work. Admission backpressure
+	// still kicks in at the same occupancy.
 	depth := cfg.QueueDepth
-	if n := countRecoveredQueued(recovered); n > depth {
+	if n := countRecoveredRunnable(recovered); n > depth {
 		depth = n
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -144,10 +155,10 @@ func NewServer(cfg Config) *Server {
 	return s
 }
 
-func countRecoveredQueued(recovered []store.RecoveredJob) int {
+func countRecoveredRunnable(recovered []store.RecoveredJob) int {
 	n := 0
 	for _, r := range recovered {
-		if r.State == store.StateQueued {
+		if r.State == store.StateQueued || resumable(r) {
 			n++
 		}
 	}
@@ -157,9 +168,12 @@ func countRecoveredQueued(recovered []store.RecoveredJob) int {
 // restore rebuilds the job table from the store's replayed journal,
 // before the worker pool starts: terminal jobs are served as-is (their
 // persisted results byte-identical), queued jobs go back on the queue,
-// and jobs that died mid-run are finalized as failed with a structured
-// InterruptedError — a new transition in this process, so it is counted
-// and journaled, and the next restart replays it as plain failed.
+// interrupted Monte-Carlo campaigns re-enqueue with their journaled
+// checkpoints so the worker resumes them from the last completed chunk,
+// and other jobs that died mid-run are finalized as failed with a
+// structured InterruptedError — a new transition in this process, so it
+// is counted and journaled, and the next restart replays it as plain
+// failed.
 func (s *Server) restore(recovered []store.RecoveredJob) {
 	now := time.Now()
 	for _, r := range recovered {
@@ -181,6 +195,16 @@ func (s *Server) restore(recovered []store.RecoveredJob) {
 				}
 			}
 		case store.StateInterrupted:
+			if resumable(r) {
+				s.met.resumed.Inc()
+				if err := s.queue.tryPush(j); err != nil {
+					if j.requestCancel("recovered campaign dropped: " + err.Error()) {
+						s.met.finished(StateCancelled)
+						s.persistTerminal(j)
+					}
+				}
+				break
+			}
 			s.met.finished(StateFailed)
 			s.persistTerminal(j)
 		}

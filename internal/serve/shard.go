@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/jobspec"
+)
+
+// shardPollEvery paces the terminal-state poll against a peer serving a
+// dispatched shard. Shards are whole trial-range sub-campaigns, so tens
+// of milliseconds of polling latency is noise next to their runtime.
+const shardPollEvery = 50 * time.Millisecond
+
+// runShard is the jobspec.Options.RunShard hook when Config.Peers is
+// set: shard k of a campaign is submitted to Peers[k mod len(Peers)] as
+// a trial-range sub-job over the same /v1/jobs API this server exposes,
+// and its terminal result is returned to the scatter-gather merge. Any
+// dispatch failure — peer unreachable, submission rejected, shard job
+// failed — falls back to executing the shard locally, so a dead peer
+// costs throughput, never the campaign.
+func (s *Server) runShard(ctx context.Context, shard int, sub *jobspec.Spec) (*jobspec.Result, error) {
+	peer := s.cfg.Peers[shard%len(s.cfg.Peers)]
+	res, err := s.dispatchShard(ctx, peer, sub)
+	if err == nil {
+		s.met.shardsDispatched.Inc()
+		return res, nil
+	}
+	if ctx.Err() != nil {
+		// The campaign itself was cancelled; don't mask that with a local
+		// re-run the merge would only have to cancel again.
+		return nil, err
+	}
+	s.met.shardFallbacks.Inc()
+	return jobspec.ExecuteOpts(ctx, sub, jobspec.Options{})
+}
+
+// dispatchShard runs one shard sub-spec on a peer end to end: submit,
+// poll to terminal, decode the result.
+func (s *Server) dispatchShard(ctx context.Context, peer string, sub *jobspec.Spec) (*jobspec.Result, error) {
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding shard spec: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard submit: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard submit to %s: %w", peer, err)
+	}
+	v, err := decodePeerView(peer, resp)
+	if err != nil {
+		return nil, err
+	}
+	// A 200 is the peer's result cache answering a previously computed
+	// identical shard: already terminal, no polling needed.
+	for !v.State.Terminal() {
+		select {
+		case <-ctx.Done():
+			// Best effort: free the peer's worker before giving up.
+			if dreq, derr := http.NewRequest(http.MethodDelete, peer+"/v1/jobs/"+v.ID, nil); derr == nil {
+				if dresp, derr := http.DefaultClient.Do(dreq); derr == nil {
+					dresp.Body.Close()
+				}
+			}
+			return nil, fmt.Errorf("serve: shard on %s: %w", peer, ctx.Err())
+		case <-time.After(shardPollEvery):
+		}
+		greq, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/jobs/"+v.ID, nil)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard poll: %w", err)
+		}
+		gresp, err := http.DefaultClient.Do(greq)
+		if err != nil {
+			return nil, fmt.Errorf("serve: polling shard on %s: %w", peer, err)
+		}
+		if v, err = decodePeerView(peer, gresp); err != nil {
+			return nil, err
+		}
+	}
+	if v.State != StateDone {
+		return nil, fmt.Errorf("serve: shard job %s on %s ended %s: %s", v.ID, peer, v.State, v.Error)
+	}
+	res := new(jobspec.Result)
+	if err := json.Unmarshal(v.Result, res); err != nil {
+		return nil, fmt.Errorf("serve: decoding shard result from %s: %w", peer, err)
+	}
+	return res, nil
+}
+
+// decodePeerView consumes one peer API response into a job View,
+// treating any non-2xx status as a dispatch failure.
+func decodePeerView(peer string, resp *http.Response) (View, error) {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxSpecBytes))
+	if err != nil {
+		return View{}, fmt.Errorf("serve: reading peer %s response: %w", peer, err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return View{}, fmt.Errorf("serve: peer %s answered %d: %s", peer, resp.StatusCode, bytes.TrimSpace(b))
+	}
+	var v View
+	if err := json.Unmarshal(b, &v); err != nil {
+		return View{}, fmt.Errorf("serve: decoding peer %s view: %w", peer, err)
+	}
+	return v, nil
+}

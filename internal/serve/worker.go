@@ -51,6 +51,25 @@ func (s *Server) runJob(j *Job) {
 	defer s.met.inflight.Add(-1)
 	started := time.Now()
 
+	opts := jobspec.Options{
+		OnProgress:    j.addProgress,
+		ProgressEvery: s.cfg.ProgressEvery,
+		// Resume carries the chunk checkpoints a dead process journaled for
+		// this job (nil for fresh submissions): the campaign folds them in
+		// and re-runs only the chunks past the last one.
+		Resume: j.resume,
+	}
+	if st := s.cfg.Store; st != nil {
+		opts.OnCheckpoint = func(cp jobspec.Checkpoint) {
+			// Journal every completed campaign chunk: the durable unit of
+			// resume. A crash from here on loses at most the chunk in flight.
+			s.storeErr(st.JobCheckpoint(j.ID, cp.Seq, cp.Data, time.Now()))
+			s.met.checkpoints.Inc()
+		}
+	}
+	if len(s.cfg.Peers) > 0 {
+		opts.RunShard = s.runShard
+	}
 	var (
 		res *jobspec.Result
 		err error
@@ -62,10 +81,7 @@ func (s *Server) runJob(j *Job) {
 					&variation.PanicError{Value: r, Stack: debug.Stack()})
 			}
 		}()
-		res, err = s.cfg.Execute(ctx, j.Spec, jobspec.Options{
-			OnProgress:    j.addProgress,
-			ProgressEvery: s.cfg.ProgressEvery,
-		})
+		res, err = s.cfg.Execute(ctx, j.Spec, opts)
 	}()
 	st := j.finish(res, err, time.Now())
 	s.met.finished(st)

@@ -1,0 +1,191 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// chunkPayload fakes a variation.ChunkStat wire payload — the store
+// treats checkpoint data as opaque bytes, so the shape only matters to
+// the resuming executor.
+func chunkPayload(chunk int) []byte {
+	return []byte(fmt.Sprintf(`{"chunk":%d,"from":%d,"to":%d,"stats":{"moments":{"n":24}}}`,
+		chunk, chunk*24, (chunk+1)*24))
+}
+
+// Checkpoints journaled for a running job must come back, in chunk
+// order and byte-identical, on the Interrupted RecoveredJob after a
+// reopen — including chunk 0, whose record omits the chunk field.
+func TestCheckpointReplayOnInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, nil, Options{})
+	spec := testSpec(7)
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobRunning("job-000001", t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Journal out of order and with a rewrite: replay keeps the last
+	// payload per chunk and sorts ascending.
+	for _, c := range []int{2, 0, 1, 2} {
+		if err := s.JobCheckpoint("job-000001", c, chunkPayload(c), t0.Add(2*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close() // no terminal record: the "crash"
+
+	s2 := mustOpen(t, dir, nil, Options{})
+	rec := s2.Recovered()
+	if len(rec) != 1 || rec[0].State != StateInterrupted {
+		t.Fatalf("recovered %+v, want one interrupted job", rec)
+	}
+	cps := rec[0].Checkpoints
+	if len(cps) != 3 {
+		t.Fatalf("recovered %d checkpoints, want 3", len(cps))
+	}
+	for i, cp := range cps {
+		if cp.Chunk != i {
+			t.Errorf("checkpoint %d has chunk %d, want ascending order", i, cp.Chunk)
+		}
+		if string(cp.Data) != string(chunkPayload(i)) {
+			t.Errorf("chunk %d payload %s, want %s", i, cp.Data, chunkPayload(i))
+		}
+	}
+}
+
+// Satellite: journal compaction mid-campaign must preserve the live
+// job's checkpoint records — compacting is reclaiming garbage, not
+// forgetting progress.
+func TestCompactionPreservesLiveCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	// CompactEvery=1: every eviction compacts, deterministically.
+	s := mustOpen(t, dir, reg, Options{CompactEvery: 1})
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+	// A finished job to evict, plus a campaign mid-flight.
+	done := testSpec(1)
+	if err := s.JobSubmitted("job-000001", done, done.CanonicalHash(), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobTerminal("job-000001", StateDone, "", []byte(`{"kind":"mc"}`), false, t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	camp := testSpec(2)
+	if err := s.JobSubmitted("job-000002", camp, camp.CanonicalHash(), t0.Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobRunning("job-000002", t0.Add(3*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		if err := s.JobCheckpoint("job-000002", c, chunkPayload(c), t0.Add(4*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Evict the terminal job: triggers a full journal rewrite.
+	if err := s.Evict([]string{"job-000001"}, t0.Add(5*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := reg.Snapshot().Counter("store_compactions_total"); n != 1 {
+		t.Fatalf("store_compactions_total = %d, want 1", n)
+	}
+	b, err := os.ReadFile(s.journalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(b), `"state":"checkpoint"`); got != 2 {
+		t.Fatalf("compacted journal holds %d checkpoint records, want 2:\n%s", got, b)
+	}
+	s.Close()
+
+	// And the campaign still resumes after the compaction.
+	s2 := mustOpen(t, dir, nil, Options{})
+	rec := s2.Recovered()
+	if len(rec) != 1 || rec[0].State != StateInterrupted || len(rec[0].Checkpoints) != 2 {
+		t.Fatalf("post-compaction recovery %+v, want interrupted with 2 checkpoints", rec)
+	}
+}
+
+// Satellite: count- and age-based eviction must refuse to drop a
+// non-terminal (resumable) job even when the caller names it.
+func TestEvictRefusesNonTerminal(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s := mustOpen(t, dir, reg, Options{CompactEvery: 1})
+	spec := testSpec(3)
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobRunning("job-000001", t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobCheckpoint("job-000001", 0, chunkPayload(0), t0.Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Evict([]string{"job-000001"}, t0.Add(3*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Jobs() != 1 {
+		t.Fatal("eviction dropped a running (resumable) job")
+	}
+	if n, _ := reg.Snapshot().Counter("store_evictions_total"); n != 0 {
+		t.Errorf("store_evictions_total = %d, want 0", n)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, nil, Options{})
+	rec := s2.Recovered()
+	if len(rec) != 1 || len(rec[0].Checkpoints) != 1 {
+		t.Fatalf("recovery after refused eviction %+v, want the checkpointed job intact", rec)
+	}
+}
+
+// A terminal transition sheds the job's checkpoints: they never ride a
+// done job's recovery, and the next compaction drops their records.
+func TestTerminalShedsCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, nil, Options{})
+	spec := testSpec(4)
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobRunning("job-000001", t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobCheckpoint("job-000001", 0, chunkPayload(0), t0.Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JobTerminal("job-000001", StateDone, "", []byte(`{"kind":"mc"}`), false, t0.Add(3*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, nil, Options{})
+	rec := s2.Recovered()
+	if len(rec) != 1 || rec[0].State != StateDone {
+		t.Fatalf("recovered %+v, want one done job", rec)
+	}
+	if len(rec[0].Checkpoints) != 0 {
+		t.Errorf("done job still carries %d checkpoints", len(rec[0].Checkpoints))
+	}
+	// Replay flagged the stale checkpoint records as garbage and
+	// compacted them away at open.
+	b, err := os.ReadFile(s2.journalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"state":"checkpoint"`) {
+		t.Error("compacted journal still holds checkpoint records for a terminal job")
+	}
+	_ = json.Valid(b)
+}

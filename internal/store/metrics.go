@@ -16,6 +16,7 @@ import "repro/internal/obs"
 //	store_cache_misses_total     count  result-cache lookups that missed
 //	store_evictions_total        count  jobs evicted by the retention policy
 //	store_compactions_total      count  journal rewrites triggered by evictions
+//	store_checkpoints_total      count  campaign chunk checkpoints journaled
 //	store_jobs                   gauge  live (non-evicted) jobs in the journal
 type metrics struct {
 	appends     *obs.Counter
@@ -25,6 +26,7 @@ type metrics struct {
 	cacheMisses *obs.Counter
 	evictions   *obs.Counter
 	compactions *obs.Counter
+	checkpoints *obs.Counter
 	jobs        *obs.Gauge
 }
 
@@ -37,6 +39,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		cacheMisses: reg.Counter("store_cache_misses_total", "1", "result-cache lookups that missed"),
 		evictions:   reg.Counter("store_evictions_total", "1", "jobs evicted by the retention policy"),
 		compactions: reg.Counter("store_compactions_total", "1", "journal rewrites triggered by evictions"),
+		checkpoints: reg.Counter("store_checkpoints_total", "1", "campaign chunk checkpoints journaled"),
 		jobs:        reg.Gauge("store_jobs", "1", "live jobs in the journal"),
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -42,6 +43,12 @@ const (
 	StateEvicted     = "evicted"
 	StateQueued      = "queued"
 	StateInterrupted = "interrupted"
+	// StateCheckpoint records one completed campaign chunk of a running
+	// job. Checkpoints are progress, not lifecycle: a job with running +
+	// checkpoint records and no terminal record replays as Interrupted
+	// with its Checkpoints attached, so the server can resume the
+	// campaign instead of failing it.
+	StateCheckpoint = "checkpoint"
 )
 
 // InterruptedError is the structured cause attached to a job that was
@@ -84,6 +91,17 @@ type RecoveredJob struct {
 	Finished  time.Time
 	Error     string
 	Result    json.RawMessage
+	// Checkpoints holds the job's journaled campaign chunks in ascending
+	// chunk order — only ever populated on Interrupted jobs (terminal
+	// jobs shed their checkpoints). Handing the payloads to
+	// jobspec.Options.Resume continues the campaign from here.
+	Checkpoints []CheckpointRec
+}
+
+// CheckpointRec is one journaled campaign chunk checkpoint.
+type CheckpointRec struct {
+	Chunk int
+	Data  json.RawMessage
 }
 
 // record is one NDJSON journal line. Spec and Hash ride only on
@@ -98,6 +116,11 @@ type record struct {
 	// Cached marks a done record whose result was entered into the
 	// spec-hash cache, so replay rebuilds the cache exactly.
 	Cached bool `json:"cached,omitempty"`
+	// Chunk and Data ride only on checkpoint records: the global chunk
+	// index and the chunk's summary payload. omitempty on Chunk is safe —
+	// an absent chunk decodes as 0, which is exactly chunk 0.
+	Chunk int             `json:"chunk,omitempty"`
+	Data  json.RawMessage `json:"data,omitempty"`
 }
 
 // jobRec is the store's in-memory state for one journaled job — exactly
@@ -113,6 +136,29 @@ type jobRec struct {
 	errMsg    string
 	finished  time.Time
 	cached    bool
+	// ckpts holds the job's live checkpoint payloads by chunk index. A
+	// terminal transition clears them (the result supersedes them); a
+	// later chunk record for the same index overwrites the earlier one.
+	ckpts map[int]ckptRec
+}
+
+// ckptRec is one in-memory checkpoint: the journaled time and payload.
+type ckptRec struct {
+	t    time.Time
+	data json.RawMessage
+}
+
+// sortedChunks returns the job's checkpointed chunk indices ascending.
+func (r *jobRec) sortedChunks() []int {
+	if len(r.ckpts) == 0 {
+		return nil
+	}
+	chunks := make([]int, 0, len(r.ckpts))
+	for c := range r.ckpts {
+		chunks = append(chunks, c)
+	}
+	sort.Ints(chunks)
+	return chunks
 }
 
 func (r *jobRec) terminal() bool { return r.state != "" }
@@ -229,11 +275,23 @@ func (s *Store) replay() (dirty bool, err error) {
 			r.spec, r.hash, r.submitted = rec.Spec, rec.Hash, rec.Time
 		case StateRunning:
 			ensure(rec.Job).started = rec.Time
+		case StateCheckpoint:
+			r := ensure(rec.Job)
+			if r.ckpts == nil {
+				r.ckpts = make(map[int]ckptRec)
+			}
+			r.ckpts[rec.Chunk] = ckptRec{t: rec.Time, data: rec.Data}
 		case StateDone, StateFailed, StateCancelled:
 			r := ensure(rec.Job)
 			r.state, r.errMsg, r.finished, r.cached = rec.State, rec.Error, rec.Time, rec.Cached
 			if rec.Cached && r.hash != "" {
 				s.cache[r.hash] = r.id
+			}
+			if len(r.ckpts) > 0 {
+				// The terminal result supersedes the campaign's checkpoints;
+				// their records are garbage worth compacting away.
+				r.ckpts = nil
+				dirty = true
 			}
 		case StateEvicted:
 			if r, ok := s.jobs[rec.Job]; ok {
@@ -297,6 +355,9 @@ func (s *Store) buildRecovered() {
 		if b, err := os.ReadFile(s.resultPath(r.id)); err == nil {
 			rj.Result = b
 		}
+		for _, c := range r.sortedChunks() {
+			rj.Checkpoints = append(rj.Checkpoints, CheckpointRec{Chunk: c, Data: r.ckpts[c].data})
+		}
 		s.recovered = append(s.recovered, rj)
 	}
 }
@@ -357,6 +418,23 @@ func (s *Store) JobRunning(id string, t time.Time) error {
 	return s.appendLocked(record{Time: t, Job: id, State: StateRunning})
 }
 
+// JobCheckpoint journals one completed campaign chunk of a running job:
+// the durable unit of resume. A crash after this append loses at most
+// the chunk that was in flight — replay hands the payloads back on the
+// job's RecoveredJob.Checkpoints.
+func (s *Store) JobCheckpoint(id string, chunk int, data []byte, t time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.jobs[id]; ok {
+		if r.ckpts == nil {
+			r.ckpts = make(map[int]ckptRec)
+		}
+		r.ckpts[chunk] = ckptRec{t: t, data: json.RawMessage(data)}
+	}
+	s.met.checkpoints.Inc()
+	return s.appendLocked(record{Time: t, Job: id, State: StateCheckpoint, Chunk: chunk, Data: data})
+}
+
 // JobTerminal journals a job's terminal transition. The result snapshot
 // (nil = none) is written and synced to its own file before the journal
 // record, so a crash between the two leaves an interrupted job with its
@@ -379,6 +457,9 @@ func (s *Store) JobTerminal(id, state, errMsg string, result []byte, cacheable b
 		s.order = append(s.order, id)
 	}
 	r.state, r.errMsg, r.finished = state, errMsg, t
+	// The terminal result supersedes any campaign checkpoints; dropping
+	// them here keeps compaction from rewriting dead progress records.
+	r.ckpts = nil
 	cached := false
 	if cacheable && state == StateDone && r.hash != "" && result != nil {
 		s.cache[r.hash] = id
@@ -414,13 +495,19 @@ func (s *Store) CachedResult(hash string) (id string, result []byte, ok bool) {
 // entries dropped. When CompactEvery evictions have accumulated the
 // journal is rewritten without the dead records, which is what keeps
 // the disk footprint bounded by the retention policy rather than by the
-// server's lifetime traffic.
+// server's lifetime traffic. Non-terminal jobs are never evicted, no
+// matter what the caller passes: a resumable campaign's checkpoints
+// must survive every count- and age-based retention pass until the job
+// reaches a verdict.
 func (s *Store) Evict(ids []string, t time.Time) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, id := range ids {
 		r, ok := s.jobs[id]
 		if !ok {
+			continue
+		}
+		if !r.terminal() {
 			continue
 		}
 		if err := s.appendLocked(record{Time: t, Job: id, State: StateEvicted}); err != nil {
@@ -466,6 +553,14 @@ func (s *Store) compactLocked() error {
 		}
 		if r.terminal() {
 			recs = append(recs, record{Time: r.finished, Job: id, State: r.state, Error: r.errMsg, Cached: r.cached})
+		} else {
+			// A live (resumable) job keeps its campaign checkpoints across
+			// compaction — dropping them here would silently cost the re-work
+			// a resume was supposed to save.
+			for _, c := range r.sortedChunks() {
+				cp := r.ckpts[c]
+				recs = append(recs, record{Time: cp.t, Job: id, State: StateCheckpoint, Chunk: c, Data: cp.data})
+			}
 		}
 		for _, rec := range recs {
 			if err := enc.Encode(rec); err != nil {

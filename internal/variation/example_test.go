@@ -36,7 +36,7 @@ func ExampleMonteCarlo() {
 	y := variation.EstimateYield(res.Values, variation.Spec{Lo: -0.03, Hi: 0.03})
 	fmt.Printf("pairs within ±30 mV: %s\n", y)
 	// Output:
-	// pairs within ±30 mV: 92.2% [90.9, 93.3]
+	// pairs within ±30 mV: 92.5% [91.2, 93.5]
 }
 
 // ExampleCorner_Apply runs the skewed SF corner on a metric.

@@ -15,6 +15,11 @@ type pkgMetrics struct {
 	nans         *obs.Counter
 	cancelled    *obs.Counter
 	trialSeconds *obs.Histogram
+	// chunks counts campaign grid chunks computed to completion here;
+	// chunksResumed counts chunks restored from checkpoints instead of
+	// re-run — together they expose how much re-work a resume saved.
+	chunks        *obs.Counter
+	chunksResumed *obs.Counter
 	// failures indexes by FailureKind (other, convergence, panic,
 	// cancelled) — a counter per taxonomy kind.
 	failures [4]*obs.Counter
@@ -31,6 +36,8 @@ var met atomic.Pointer[pkgMetrics]
 //	variation_trial_nans_total                    count  trials that returned NaN
 //	variation_trials_cancelled_total              count  trials never run (context cancelled)
 //	variation_trial_seconds                       s      per-trial latency histogram
+//	variation_mc_chunks_total                     count  campaign chunks computed to completion
+//	variation_mc_chunks_resumed_total             count  campaign chunks restored from checkpoints
 //	variation_trial_failures_other_total          count  failed trials by taxonomy kind
 //	variation_trial_failures_convergence_total    count
 //	variation_trial_failures_panic_total          count
@@ -45,6 +52,10 @@ func SetMetrics(reg *obs.Registry) {
 		nans:         reg.Counter("variation_trial_nans_total", "1", "trials whose metric was NaN"),
 		cancelled:    reg.Counter("variation_trials_cancelled_total", "1", "trials never run due to cancellation"),
 		trialSeconds: reg.Histogram("variation_trial_seconds", "s", "per-trial latency", nil),
+		chunks: reg.Counter("variation_mc_chunks_total", "1",
+			"campaign grid chunks computed to completion"),
+		chunksResumed: reg.Counter("variation_mc_chunks_resumed_total", "1",
+			"campaign grid chunks restored from checkpoints"),
 	}
 	for k := FailOther; k <= FailCancelled; k++ {
 		m.failures[k] = reg.Counter(

@@ -1,0 +1,291 @@
+package variation
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// gaussTrial is a cheap deterministic stand-in for a die solve: one
+// normal draw from the trial's private stream, with a NaN and a failure
+// sprinkled in to exercise the accounting.
+func gaussTrial(rng *mathx.RNG, i int) (float64, error) {
+	if i == 13 {
+		return 0, fmt.Errorf("synthetic failure")
+	}
+	if i == 29 {
+		return math.NaN(), nil
+	}
+	return 0.6 + 0.05*rng.Norm(), nil
+}
+
+func TestChunkGridCoversTrials(t *testing.T) {
+	for _, trials := range []int{1, 3, 4, 5, 255, 256, 257, 777, 1000, 4096} {
+		cs := ChunkSize(trials)
+		nc := NumChunks(trials)
+		if cs < 1 || cs > 256 {
+			t.Fatalf("trials=%d: chunk size %d", trials, cs)
+		}
+		covered := 0
+		for i := 0; i < nc; i++ {
+			from, to := ChunkRange(trials, i)
+			if from != covered || to <= from {
+				t.Fatalf("trials=%d chunk %d: range [%d,%d) after %d", trials, i, from, to, covered)
+			}
+			covered = to
+		}
+		if covered != trials {
+			t.Fatalf("trials=%d: grid covers %d", trials, covered)
+		}
+	}
+}
+
+// A full-range campaign must reproduce MonteCarloCtx bit-for-bit: same
+// per-trial RNG substreams, same values in trial order, same accounting.
+func TestCampaignMatchesMonteCarlo(t *testing.T) {
+	const n, seed = 600, 7
+	mc, err := MonteCarloCtx(context.Background(), n, seed, gaussTrial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := &Campaign{Trials: n, Seed: seed, Trial: gaussTrial, KeepValues: true}
+	cr, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Values) != len(mc.Values) {
+		t.Fatalf("campaign %d values, MonteCarloCtx %d", len(cr.Values), len(mc.Values))
+	}
+	for i := range cr.Values {
+		if cr.Values[i] != mc.Values[i] {
+			t.Fatalf("value %d: %g != %g", i, cr.Values[i], mc.Values[i])
+		}
+	}
+	if cr.Failures != mc.Failures || cr.NaNs != mc.NaNs || cr.Completed() != mc.Completed() {
+		t.Fatalf("accounting: campaign (%d,%d,%d) vs mc (%d,%d,%d)",
+			cr.Failures, cr.NaNs, cr.Completed(), mc.Failures, mc.NaNs, mc.Completed())
+	}
+	// Stats must agree with the value set they summarise (Welford vs
+	// two-pass mean differ only in rounding).
+	if got, want := cr.Stats.Mean(), mathx.Mean(cr.Values); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stats mean %g != values mean %g", got, want)
+	}
+	if int(cr.Stats.Moments.Count) != len(cr.Values) {
+		t.Fatalf("stats count %d != %d values", cr.Stats.Moments.Count, len(cr.Values))
+	}
+}
+
+// k-shard scatter-gather (k in {1, 4, 16}) must yield identical trial
+// counts, bit-identical mean/std/pass, and quantiles within the sketch's
+// rank-error bound versus the single-shard run.
+func TestCampaignShardMergeBitIdentical(t *testing.T) {
+	const trials, seed = 1024, 11
+	spec := &Spec{Name: "v", Lo: 0.5, Hi: 0.7}
+	full := &Campaign{Trials: trials, Seed: seed, Trial: gaussTrial, Spec: spec, KeepValues: true}
+	ref, err := full.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), ref.Values...)
+	sort.Float64s(sorted)
+
+	nc := NumChunks(trials)
+	cs := ChunkSize(trials)
+	for _, k := range []int{1, 4, 16} {
+		shards := k
+		if shards > nc {
+			shards = nc
+		}
+		// One chunk-stat list per shard, gathered then folded in global
+		// chunk order — exactly what the jobspec scatter-gather does.
+		chunkStats := make(map[int]ChunkStat)
+		for s := 0; s < shards; s++ {
+			firstChunk := s * nc / shards
+			lastChunk := (s + 1) * nc / shards
+			from := firstChunk * cs
+			to := lastChunk * cs
+			if to > trials {
+				to = trials
+			}
+			camp := &Campaign{
+				Trials: trials, Seed: seed, Trial: gaussTrial, Spec: spec,
+				From: from, To: to,
+				OnChunk: func(st ChunkStat) { chunkStats[st.Chunk] = st },
+			}
+			if _, err := camp.Run(context.Background()); err != nil {
+				t.Fatalf("k=%d shard %d: %v", k, s, err)
+			}
+		}
+		if len(chunkStats) != nc {
+			t.Fatalf("k=%d: gathered %d/%d chunks", k, len(chunkStats), nc)
+		}
+		var merged MCStats
+		for c := 0; c < nc; c++ {
+			st := chunkStats[c]
+			merged.Merge(&st.Stats)
+		}
+		if got, want := merged.Completed(), ref.Completed(); got != want {
+			t.Fatalf("k=%d: completed %d != %d", k, got, want)
+		}
+		if merged.Mean() != ref.Stats.Mean() {
+			t.Errorf("k=%d: mean %v != %v (not bit-identical)", k, merged.Mean(), ref.Stats.Mean())
+		}
+		if merged.StdDev() != ref.Stats.StdDev() {
+			t.Errorf("k=%d: std %v != %v (not bit-identical)", k, merged.StdDev(), ref.Stats.StdDev())
+		}
+		if merged.Pass != ref.Stats.Pass {
+			t.Errorf("k=%d: pass %d != %d", k, merged.Pass, ref.Stats.Pass)
+		}
+		if merged.Yield() != ref.Stats.Yield() {
+			t.Errorf("k=%d: yield %v != %v", k, merged.Yield(), ref.Stats.Yield())
+		}
+		for _, p := range []float64{0.05, 0.5, 0.95} {
+			est := merged.Quantile(p)
+			i := sort.SearchFloat64s(sorted, est)
+			if e := math.Abs(float64(i)/float64(len(sorted)) - p); e > 2.0/mathx.DefaultSketchCompression {
+				t.Errorf("k=%d p=%g: rank error %.4f over bound", k, p, e)
+			}
+		}
+	}
+}
+
+// Resuming from the first m chunk checkpoints must reproduce the
+// uninterrupted run's moments bit-for-bit while re-running only the
+// remaining chunks.
+func TestCampaignResumeBitIdentical(t *testing.T) {
+	const trials, seed = 900, 3
+	var chunks []ChunkStat
+	full := &Campaign{
+		Trials: trials, Seed: seed, Trial: gaussTrial,
+		OnChunk: func(st ChunkStat) { chunks = append(chunks, st) },
+	}
+	ref, err := full.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := NumChunks(trials)
+	if len(chunks) != nc {
+		t.Fatalf("expected %d chunk checkpoints, got %d", nc, len(chunks))
+	}
+	for _, m := range []int{1, nc - 1, nc} {
+		var reran int
+		var mu sync.Mutex
+		camp := &Campaign{
+			Trials: trials, Seed: seed, Trial: gaussTrial,
+			Resume: chunks[:m],
+			OnChunk: func(ChunkStat) {
+				mu.Lock()
+				reran++
+				mu.Unlock()
+			},
+		}
+		res, err := camp.Run(context.Background())
+		if err != nil {
+			t.Fatalf("resume m=%d: %v", m, err)
+		}
+		if res.Resumed != m || reran != nc-m {
+			t.Fatalf("m=%d: resumed %d, re-ran %d (want %d, %d)", m, res.Resumed, reran, m, nc-m)
+		}
+		if res.Completed() != ref.Completed() {
+			t.Fatalf("m=%d: completed %d != %d", m, res.Completed(), ref.Completed())
+		}
+		if res.Stats.Moments != ref.Stats.Moments {
+			t.Fatalf("m=%d: moments %+v != %+v (not bit-identical)", m, res.Stats.Moments, ref.Stats.Moments)
+		}
+	}
+}
+
+// A checkpoint from a different grid (wrong trial count) must be
+// rejected, not silently merged.
+func TestCampaignResumeRejectsForeignChunk(t *testing.T) {
+	camp := &Campaign{
+		Trials: 400, Seed: 1, Trial: gaussTrial,
+		Resume: []ChunkStat{{Chunk: 0, From: 0, To: 64}}, // grid says [0,100)
+	}
+	if _, err := camp.Run(context.Background()); err == nil {
+		t.Fatal("foreign chunk accepted")
+	}
+}
+
+func TestCampaignRejectsMisalignedRange(t *testing.T) {
+	camp := &Campaign{Trials: 400, Seed: 1, Trial: gaussTrial, From: 37, To: 200}
+	if _, err := camp.Run(context.Background()); err == nil {
+		t.Fatal("misaligned range accepted")
+	}
+}
+
+// Cancellation mid-campaign returns the completed portion with exact
+// accounting and never emits a checkpoint for the partial chunk.
+func TestCampaignCancelPartial(t *testing.T) {
+	const trials = 1024
+	ctx, cancel := context.WithCancel(context.Background())
+	var emitted []ChunkStat
+	camp := &Campaign{
+		Trials: trials, Seed: 5,
+		Trial: func(rng *mathx.RNG, i int) (float64, error) {
+			if i == 300 {
+				cancel()
+			}
+			return rng.Float64(), nil
+		},
+		OnChunk: func(st ChunkStat) { emitted = append(emitted, st) },
+	}
+	res, err := camp.Run(ctx)
+	if err == nil {
+		t.Fatal("cancelled campaign returned no error")
+	}
+	if res.Cancelled == 0 || res.Completed()+res.Cancelled != trials {
+		t.Fatalf("accounting: completed %d + cancelled %d != %d", res.Completed(), res.Cancelled, trials)
+	}
+	for _, st := range emitted {
+		if got := st.Stats.Completed(); got != st.To-st.From {
+			t.Fatalf("checkpoint for incomplete chunk %d: %d/%d trials", st.Chunk, got, st.To-st.From)
+		}
+	}
+}
+
+// Satellite regression: replacing Values at unchanged length must not
+// serve stale quantiles. The cache keys on length, so a same-length
+// replacement through SetValues (or Invalidate) has to drop it.
+func TestQuantileCacheInvalidatedOnSameLengthReplace(t *testing.T) {
+	r := &MCResult{Values: []float64{1, 2, 3, 4, 5}}
+	if got := r.Quantile(0.5); got != 3 {
+		t.Fatalf("median = %g, want 3", got)
+	}
+	r.SetValues([]float64{10, 20, 30, 40, 50}) // same length, new data
+	if got := r.Quantile(0.5); got != 30 {
+		t.Fatalf("stale quantile after same-length SetValues: got %g, want 30", got)
+	}
+	// In-place mutation + explicit Invalidate must also refresh.
+	r.Values[4] = -100
+	r.Invalidate()
+	if got := r.Quantile(0); got != -100 {
+		t.Fatalf("stale quantile after Invalidate: got %g, want -100", got)
+	}
+}
+
+// Merging two value-carrying results must agree with the statistics of
+// the concatenated value sets.
+func TestMCResultMerge(t *testing.T) {
+	a := &MCResult{N: 3, Values: []float64{1, 2, 3}}
+	b := &MCResult{N: 4, Values: []float64{4, 5, 6, 7}, NaNs: 1}
+	all := append(append([]float64(nil), a.Values...), b.Values...)
+	a.Merge(b)
+	if a.N != 7 || a.NaNs != 1 {
+		t.Fatalf("merged N=%d NaNs=%d", a.N, a.NaNs)
+	}
+	if got, want := a.Mean(), mathx.Mean(all); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("merged mean %g != %g", got, want)
+	}
+	if got, want := a.StdDev(), mathx.StdDev(all); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("merged std %g != %g", got, want)
+	}
+	if a.Completed() != 8 {
+		t.Fatalf("merged completed %d, want 8", a.Completed())
+	}
+}
