@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet doccheck build test race race-fault race-serve race-store race-batch race-shard bench-smoke bench bench-solver bench-sparse bench-sparse-smoke
+.PHONY: ci vet doccheck docs build test race race-fault race-serve race-store race-batch race-shard race-campaign bench-smoke bench bench-solver bench-sparse bench-sparse-smoke
 
-ci: vet doccheck build race race-fault race-serve race-store race-batch race-shard bench-smoke
+ci: vet doccheck docs build race race-fault race-serve race-store race-batch race-shard race-campaign bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +16,14 @@ vet:
 # section/equation; see cmd/doccheck.
 doccheck:
 	$(GO) run ./cmd/doccheck .
+
+# The documentation gate for the signoff layer: exported campaign/report
+# types must carry doc comments, docs/REPORT_SCHEMA.md must match the
+# report structs' json tags in both directions, and every runnable godoc
+# example must still build and pass.
+docs:
+	$(GO) run ./cmd/doccheck -exported internal/campaign,internal/report,internal/report/signoff -schema docs/REPORT_SCHEMA.md=internal/report/signoff .
+	$(GO) test -run 'Example' ./...
 
 build:
 	$(GO) build ./...
@@ -58,6 +66,14 @@ race-batch:
 # resume acceptance suite.
 race-shard:
 	$(GO) test -race -count=1 -run 'Moments|Sketch|SplitMix|Correl|Chunk|Campaign|Shard|Resume|Checkpoint|QuantileCache' ./internal/mathx/ ./internal/variation/ ./internal/jobspec/ ./internal/store/ ./internal/serve/
+
+# The composite-campaign paths under the race detector: the generic DAG
+# engine's concurrency, sub-job failure propagating a structured partial
+# report, mid-campaign kill + restart resuming from journaled sub-job
+# checkpoints, and cache-hit sub-jobs surfacing in report provenance.
+race-campaign:
+	$(GO) test -race -count=2 ./internal/campaign/
+	$(GO) test -race -count=1 -run 'Campaign|Signoff|Centering|Corner|DAG' ./internal/jobspec/ ./internal/serve/ ./internal/variation/ ./internal/report/...
 
 # One iteration of every benchmark: catches harness rot without the cost
 # of a full measurement run.

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	doccheck [dir ...]
+//	doccheck [-exported dir,dir...] [-schema md=pkgdir] [dir ...]
 //
 // With no arguments it walks the current directory. For every directory
 // containing non-test Go files it requires at least one file to carry a
@@ -15,21 +15,39 @@
 // code, testdata and hidden directories are skipped. It prints one line
 // per violation and exits non-zero if any are found, making it a cheap
 // go-vet-style gate for `make ci`.
+//
+// -exported names package directories (comma-separated) whose exported
+// type declarations must each carry their own doc comment — the report
+// and campaign schemas are consumed through godoc, so an undocumented
+// exported type there is a schema field nobody can interpret.
+//
+// -schema takes a markdownfile=packagedir pair and cross-checks the two:
+// every `json:"..."` tag name on an exported struct in the package must
+// appear as a backticked field name in one of the markdown file's table
+// rows, and every backticked first-column name in a table row must be a
+// real tag — so docs/REPORT_SCHEMA.md can never drift from the Go structs
+// that define the wire format.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 )
 
 func main() {
-	roots := os.Args[1:]
+	exported := flag.String("exported", "", "comma-separated package dirs whose exported types must carry doc comments")
+	schema := flag.String("schema", "", "markdownfile=packagedir pair to cross-check field docs against json struct tags")
+	flag.Parse()
+	roots := flag.Args()
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
@@ -42,12 +60,33 @@ func main() {
 		}
 		bad = append(bad, violations...)
 	}
+	for _, dir := range splitList(*exported) {
+		violations, err := checkExported(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		bad = append(bad, violations...)
+	}
+	if *schema != "" {
+		md, pkg, ok := strings.Cut(*schema, "=")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "doccheck: -schema wants markdownfile=packagedir")
+			os.Exit(2)
+		}
+		violations, err := checkSchema(md, pkg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		bad = append(bad, violations...)
+	}
 	sort.Strings(bad)
 	for _, v := range bad {
 		fmt.Println(v)
 	}
 	if len(bad) > 0 {
-		fmt.Fprintf(os.Stderr, "doccheck: %d package(s) missing a package doc comment\n", len(bad))
+		fmt.Fprintf(os.Stderr, "doccheck: %d violation(s)\n", len(bad))
 		os.Exit(1)
 	}
 }
@@ -104,4 +143,140 @@ func check(root string) ([]string, error) {
 		}
 	}
 	return bad, nil
+}
+
+// checkExported parses one package directory (non-recursive) and returns
+// a violation per exported type declaration without a doc comment. A
+// type in a grouped declaration counts as documented if either the spec
+// or the (single-spec) declaration carries the comment — the forms godoc
+// renders.
+func checkExported(dir string) ([]string, error) {
+	var bad []string
+	err := eachPackageFile(dir, func(path string, f *ast.File) {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if !ts.Name.IsExported() {
+					continue
+				}
+				documented := ts.Doc != nil && strings.TrimSpace(ts.Doc.Text()) != ""
+				if !documented && len(gd.Specs) == 1 {
+					documented = gd.Doc != nil && strings.TrimSpace(gd.Doc.Text()) != ""
+				}
+				if !documented {
+					bad = append(bad, fmt.Sprintf("%s: exported type %s has no doc comment", path, ts.Name.Name))
+				}
+			}
+		}
+	})
+	return bad, err
+}
+
+// checkSchema cross-checks a markdown schema document against the json
+// struct tags of a package's exported structs, in both directions.
+func checkSchema(mdPath, pkgDir string) ([]string, error) {
+	tags := map[string]bool{}
+	err := eachPackageFile(pkgDir, func(_ string, f *ast.File) {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if field.Tag == nil {
+						continue
+					}
+					raw := strings.Trim(field.Tag.Value, "`")
+					name, _, _ := strings.Cut(reflect.StructTag(raw).Get("json"), ",")
+					if name != "" && name != "-" {
+						tags[name] = true
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	text, err := os.ReadFile(mdPath)
+	if err != nil {
+		return nil, err
+	}
+	// A documented field is the first backticked token of a markdown table
+	// row. Rows whose first cell isn't backticked (headers, separators,
+	// prose tables) don't count.
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(text), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cell := strings.TrimSpace(strings.SplitN(strings.TrimPrefix(line, "|"), "|", 2)[0])
+		if len(cell) > 2 && strings.HasPrefix(cell, "`") && strings.HasSuffix(cell, "`") {
+			documented[strings.Trim(cell, "`")] = true
+		}
+	}
+
+	var bad []string
+	for tag := range tags {
+		if !documented[tag] {
+			bad = append(bad, fmt.Sprintf("%s: field `%s` (a json tag in %s) is not documented", mdPath, tag, pkgDir))
+		}
+	}
+	for name := range documented {
+		if !tags[name] {
+			bad = append(bad, fmt.Sprintf("%s: documented field `%s` is not a json tag of any exported struct in %s", mdPath, name, pkgDir))
+		}
+	}
+	return bad, nil
+}
+
+// eachPackageFile parses every non-test .go file directly in dir (full
+// syntax, comments retained) and calls fn on it.
+func eachPackageFile(dir string, fn func(path string, f *ast.File)) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	fset := token.NewFileSet()
+	seen := false
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		seen = true
+		fn(path, f)
+	}
+	if !seen {
+		return fmt.Errorf("%s: no Go files", dir)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }

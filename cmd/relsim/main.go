@@ -12,7 +12,9 @@
 //	relsim -netlist ckt.sp -analysis mc -trials 200 -node out -lo 0.4 -hi 0.8
 //	relsim -netlist ckt.sp -analysis mc -trials 100000 -node out -timeout 30s -progress
 //	relsim -netlist ckt.sp -analysis mc -trials 100000 -node out -shards 8
-//	relsim -netlist ckt.sp -analysis corners -node out
+//	relsim -netlist ckt.sp -analysis corners -node out -lo 0.4 -hi 0.8
+//	relsim -netlist ckt.sp -analysis centering -node out -lo 0.4 -hi 0.8 -trials 96
+//	relsim -netlist ckt.sp -analysis signoff -node out -lo 0.4 -hi 0.8 -years 10 -target-fit 1000
 //	relsim -serve :8080
 //
 // Every flag set parses into one versioned internal/jobspec.Spec, and
@@ -22,7 +24,21 @@
 // The age analysis applies NBTI+HCI+TDDB with DC stress extracted from the
 // operating point; mc runs Monte-Carlo mismatch on all MOSFETs and reports
 // the node-voltage distribution and yield against [-lo, -hi]; corners
-// sweeps the five classic global corners (TT/SS/FF/SF/FS).
+// sweeps the five classic global corners (TT/SS/FF/SF/FS) and, when -lo or
+// -hi is given, judges each corner against the spec window and names the
+// worst-margin corner.
+//
+// centering runs greedy design centering: it resizes MOSFET widths
+// (-devices restricts the set, -size-step is one move's width factor,
+// -max-scale the cumulative budget) to maximise Monte-Carlo yield against
+// the [-lo, -hi] window, reporting the yield trajectory and final sizing.
+//
+// signoff chains the whole reliability flow into one verdict: the corner
+// sweep picks the worst corner, a Monte-Carlo campaign at that corner
+// measures parametric yield, the aging trajectory and an EM/TDDB wear-out
+// roll-up bound the mission (-years, -temp), and the composite report —
+// yield %, σ-margin, FIT rate vs -target-fit, MTBF, failure Pareto —
+// prints with a PASS/FAIL verdict (see docs/REPORT_SCHEMA.md).
 //
 // -timeout bounds the wall clock of the mc and age analyses: on expiry
 // the completed portion of the run is reported with explicit cancelled
@@ -107,7 +123,7 @@ func main() {
 	log.SetPrefix("relsim: ")
 	var (
 		netFile  = flag.String("netlist", "", "netlist file (required in one-shot mode)")
-		analysis = flag.String("analysis", "op", "op | tran | sweep | ac | age | mc | corners")
+		analysis = flag.String("analysis", "op", "op | tran | sweep | ac | age | mc | corners | centering | signoff")
 		stop     = flag.Float64("stop", 1e-3, "tran: stop time [s]")
 		step     = flag.Float64("step", 1e-6, "tran: time step [s]")
 		adaptive = flag.Bool("adaptive", false, "tran: variable step with LTE control")
@@ -117,18 +133,25 @@ func main() {
 		from     = flag.Float64("from", 0, "sweep: start value")
 		to       = flag.Float64("to", 1, "sweep: end value")
 		points   = flag.Int("points", 11, "sweep: number of points")
-		years    = flag.Float64("years", 10, "age: mission length [years]")
-		temp     = flag.Float64("temp", 350, "age: junction temperature [K]")
+		years    = flag.Float64("years", 10, "age/signoff: mission length [years]")
+		temp     = flag.Float64("temp", 350, "age/signoff: junction temperature [K]")
 		acFrom   = flag.Float64("fstart", 1e3, "ac: start frequency [Hz]")
 		acTo     = flag.Float64("fstop", 1e9, "ac: stop frequency [Hz]")
 		acPoints = flag.Int("fpoints", 31, "ac: number of log-spaced points")
 		acSource = flag.String("acsource", "", "ac: source to stimulate (ACMag=1)")
-		trials   = flag.Int("trials", 200, "mc: number of Monte-Carlo dies")
+		trials   = flag.Int("trials", 200, "mc/centering/signoff: number of Monte-Carlo dies")
 		mcBatch  = flag.Int("batch", 0, "mc: trials evaluated per reused deck (0 = default 32, 1 = no reuse; never changes results)")
 		shards   = flag.Int("shards", 0, "mc: split the campaign into this many chunk-aligned trial-range shards (0/1 = unsharded; mean/σ/yield stay bit-identical)")
-		node     = flag.String("node", "", "mc/corners: monitored node")
-		lo       = flag.Float64("lo", math.Inf(-1), "mc: spec lower bound")
-		hi       = flag.Float64("hi", math.Inf(1), "mc: spec upper bound")
+		node     = flag.String("node", "", "mc/corners/centering/signoff: monitored node")
+		lo       = flag.Float64("lo", math.Inf(-1), "mc/corners/centering/signoff: spec lower bound")
+		hi       = flag.Float64("hi", math.Inf(1), "mc/corners/centering/signoff: spec upper bound")
+		sigmaVT  = flag.Float64("sigma-vt", 0.03, "corners/signoff: 3σ corner VT shift [V]")
+		sigmaBe  = flag.Float64("sigma-beta", 0.08, "corners/signoff: 3σ corner β shift (fractional)")
+		devices  = flag.String("devices", "", "centering: comma-separated MOSFETs to size; join matched pairs with '+' (M1+M2). default all, individually")
+		maxIters = flag.Int("max-iters", 6, "centering: max accepted sizing moves")
+		sizeStep = flag.Float64("size-step", 1.25, "centering: width scale factor of one move")
+		maxScale = flag.Float64("max-scale", 4, "centering: cumulative width-scale budget per device")
+		tgtFIT   = flag.Float64("target-fit", 1000, "signoff: failure-rate budget [failures/1e9 h]")
 		seed     = flag.Uint64("seed", 1, "mc/age: RNG seed")
 		timeout  = flag.Duration("timeout", 0, "mc/age: wall-clock budget; partial results are reported on expiry (serve: default per-job budget; 0 = none)")
 		progress = flag.Bool("progress", false, "print a per-second instrument snapshot line to stderr")
@@ -187,19 +210,19 @@ func main() {
 	case jobspec.KindAge:
 		spec.Age = &jobspec.AgeParams{Years: *years, TempK: *temp, Checkpoints: 10}
 	case jobspec.KindMC:
-		mc := &jobspec.MCParams{Trials: *trials, Node: *node, Batch: *mcBatch, Shards: *shards}
-		if !math.IsInf(*lo, -1) {
-			v := *lo
-			mc.Lo = &v
-		}
-		if !math.IsInf(*hi, 1) {
-			v := *hi
-			mc.Hi = &v
-		}
-		spec.MC = mc
+		spec.MC = &jobspec.MCParams{Trials: *trials, Node: *node, Batch: *mcBatch, Shards: *shards,
+			Lo: finitePtr(*lo), Hi: finitePtr(*hi)}
 	case jobspec.KindCorners:
-		// 3σ global corner levels: a representative 30 mV / 8 % spread.
-		spec.Corners = &jobspec.CornersParams{Node: *node, SigmaVT: 0.03, SigmaBeta: 0.08}
+		spec.Corners = &jobspec.CornersParams{Node: *node, SigmaVT: *sigmaVT, SigmaBeta: *sigmaBe,
+			Lo: finitePtr(*lo), Hi: finitePtr(*hi)}
+	case jobspec.KindCentering:
+		spec.Centering = &jobspec.CenteringParams{Node: *node, Lo: finitePtr(*lo), Hi: finitePtr(*hi),
+			Trials: *trials, MaxIters: *maxIters, Step: *sizeStep, MaxScale: *maxScale,
+			Devices: splitList(*devices)}
+	case jobspec.KindSignoff:
+		spec.Signoff = &jobspec.SignoffParams{Node: *node, Lo: finitePtr(*lo), Hi: finitePtr(*hi),
+			Trials: *trials, SigmaVT: *sigmaVT, SigmaBeta: *sigmaBe,
+			Years: *years, TempK: *temp, TargetFIT: *tgtFIT}
 	}
 	// No ApplyDefaults here: the flag defaults above already encode every
 	// default, and defaulting would silently rewrite explicit zeros
@@ -258,6 +281,16 @@ func main() {
 		log.Fatal(err)
 	}
 	render(spec, res)
+}
+
+// finitePtr converts a ±Inf-defaulted bound flag into the jobspec's
+// optional-pointer form: nil when the flag was left at its infinite
+// default, the value otherwise.
+func finitePtr(v float64) *float64 {
+	if math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
 }
 
 func splitList(s string) []string {

@@ -27,6 +27,10 @@ func render(spec *jobspec.Spec, res *jobspec.Result) {
 		renderMC(spec, res)
 	case jobspec.KindCorners:
 		renderCorners(res.Corners)
+	case jobspec.KindCentering:
+		renderCentering(res)
+	case jobspec.KindSignoff:
+		renderSignoff(res)
 	}
 }
 
@@ -152,9 +156,88 @@ func printMCAccounting(mc *jobspec.MCOutcome) {
 }
 
 func renderCorners(c *jobspec.CornersResult) {
-	t := report.NewTable("process corners", "corner", "V("+c.Node+")")
-	for _, co := range c.Corners {
-		t.AddRow(co.Name, report.SI(co.V, "V"))
+	judged := c.Lo != nil || c.Hi != nil
+	if judged {
+		t := report.NewTable("process corners", "corner", "V("+c.Node+")", "margin", "verdict")
+		for _, co := range c.Corners {
+			margin, verdict := "—", "—"
+			if co.Margin != nil {
+				margin = report.SI(*co.Margin, "V")
+			}
+			if co.Pass != nil {
+				verdict = "PASS"
+				if !*co.Pass {
+					verdict = "FAIL"
+				}
+			}
+			t.AddRow(co.Name, report.SI(co.V, "V"), margin, verdict)
+		}
+		fmt.Println(t)
+	} else {
+		t := report.NewTable("process corners", "corner", "V("+c.Node+")")
+		for _, co := range c.Corners {
+			t.AddRow(co.Name, report.SI(co.V, "V"))
+		}
+		fmt.Println(t)
+	}
+	fmt.Printf("worst corner: %s (V(%s) = %s)\n", c.Worst, c.Node, report.SI(c.WorstV, "V"))
+	if judged {
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Printf("corner verdict: %s\n", verdict)
+	}
+}
+
+// renderCentering reports a design-centering run: the yield trajectory of
+// every accepted sizing move, the final device widths, and the headline
+// baseline→final yield improvement.
+func renderCentering(res *jobspec.Result) {
+	c := res.Centering
+	if res.Partial {
+		log.Printf("warning: %s — reporting the partial trajectory (%d accepted moves)",
+			res.Warning, len(c.Trajectory)-1)
+	}
+	t := report.NewTable(fmt.Sprintf("centering trajectory (%d dies/point)", c.Trials),
+		"iter", "move", "yield", "95% CI", "mean V("+c.Node+")", "σ")
+	for _, p := range c.Trajectory {
+		move := "baseline"
+		if p.Device != "" {
+			move = fmt.Sprintf("%s ×%.3g", p.Device, p.Scale)
+		}
+		mean, sigma := "—", "—"
+		if p.Mean != nil {
+			mean = report.SI(*p.Mean, "V")
+		}
+		if p.Sigma != nil {
+			sigma = report.SI(*p.Sigma, "V")
+		}
+		t.AddRow(fmt.Sprintf("%d", p.Iteration), move,
+			fmt.Sprintf("%.1f%%", 100*p.Yield.Yield),
+			fmt.Sprintf("[%.1f%%, %.1f%%]", 100*p.Yield.Lo95, 100*p.Yield.Hi95),
+			mean, sigma)
 	}
 	fmt.Println(t)
+	st := report.NewTable("final sizing", "device", "scale", "width")
+	for _, d := range c.Sizing {
+		st.AddRow(d.Device, fmt.Sprintf("×%.3g", d.Scale), report.SI(d.WidthM, "m"))
+	}
+	fmt.Println(st)
+	how := "stopped at max-iters"
+	if c.Converged {
+		how = "converged"
+	}
+	fmt.Printf("yield: %.1f%% → %.1f%% after %d accepted move(s) (%s)\n",
+		100*c.Baseline.Yield.Yield, 100*c.Final.Yield.Yield, len(c.Trajectory)-1, how)
+}
+
+// renderSignoff prints the composite compliance report's text rendering —
+// the same versioned signoff.Report the HTTP API returns as JSON — and
+// routes the incompleteness warning to stderr like every other analysis.
+func renderSignoff(res *jobspec.Result) {
+	if res.Partial {
+		log.Printf("warning: %s", res.Warning)
+	}
+	fmt.Print(res.Signoff.Text())
 }

@@ -1,0 +1,25 @@
+* two-stage OTA, unity-gain, for yield and reliability signoff
+.tech 90nm
+.temp 300
+VDD vdd 0 DC 1.1
+VINP inp 0 DC 0.55
+* supply wiring modelled as real metal: the EM roll-up converts these
+* resistors into wires and checks Black's MTTF on the DC current they carry.
+RVDD vdd vddi 25
+RBIAS vddi nbias 40k
+* bias chain and tail mirror
+MB nbias nbias 0 0 NMOS W=2u L=180n
+MT tail nbias 0 0 NMOS W=4u L=180n
+* input differential pair with pMOS mirror load; the inverting input is
+* tied to the output (unity-gain buffer), so V(out) = V(inp) + Vos and the
+* Monte-Carlo yield of V(out) measures the input-offset distribution the
+* paper's Section 2 mismatch model predicts.
+M1 n1 out tail 0 NMOS W=8u L=180n
+M2 out1 inp tail 0 NMOS W=8u L=180n
+M3 n1 n1 vddi vddi PMOS W=4u L=180n
+M4 out1 n1 vddi vddi PMOS W=4u L=180n
+* second stage: pMOS common-source into a resistive load
+M5 out out1 vddi vddi PMOS W=12u L=180n
+M6 out nbias 0 0 NMOS W=4u L=180n
+RL out 0 60k
+.end

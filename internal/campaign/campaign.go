@@ -1,0 +1,346 @@
+// Package campaign runs a composite reliability campaign as a directed
+// acyclic graph of named sub-steps. The paper's resilience loop (§5.2)
+// and its M16 product milestone call for signoff-grade analyses that
+// compose: automated worst-case corner analysis feeding Monte-Carlo
+// yield at the identified corner, with aging (NBTI/HCI/TDDB, §3) and
+// electromigration (§3.4, Black's equation) roll-ups alongside — one
+// campaign, several engines, explicit data dependencies. This package is
+// the orchestration substrate for that composition: callers describe
+// steps as Nodes with dependencies, and Run executes them with maximal
+// concurrency among ready nodes, deterministic failure propagation
+// (a failed node skips its dependents with a structured cause instead of
+// aborting the graph), per-node completion hooks for checkpointing, and
+// a resume map so a restarted campaign re-runs only what is missing.
+// The package is deliberately generic — node payloads are opaque values
+// — so the jobspec layer can build signoff graphs on top without a
+// dependency cycle.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Node is one step of a campaign graph. Run receives the values of every
+// dependency, keyed by node name; it is only called once all Deps have
+// completed successfully.
+type Node struct {
+	// Name identifies the node; it must be unique within the graph.
+	Name string
+	// Deps lists the names of nodes whose values Run needs.
+	Deps []string
+	// Run computes the node's value. A returned error marks the node
+	// failed and skips its transitive dependents.
+	Run func(ctx context.Context, deps map[string]any) (any, error)
+}
+
+// Outcome is the terminal state of one node after Run returns.
+type Outcome struct {
+	// Name is the node's name.
+	Name string
+	// Value is what the node's Run returned (or the restored value when
+	// Resumed).
+	Value any
+	// Err is the node's failure, a *SkipError when a dependency failed,
+	// or nil on success.
+	Err error
+	// Skipped reports that the node never ran because a dependency
+	// failed or the context was cancelled first; Err carries the cause.
+	Skipped bool
+	// Resumed reports that the value was restored from Options.Resume
+	// instead of executing Run.
+	Resumed bool
+	// Elapsed is the node's wall time (zero for resumed/skipped nodes).
+	Elapsed time.Duration
+}
+
+// OK reports whether the node produced a usable value.
+func (o *Outcome) OK() bool { return o != nil && o.Err == nil && !o.Skipped }
+
+// SkipError is the structured cause attached to a node that was skipped
+// because a dependency did not produce a value.
+type SkipError struct {
+	// Node is the skipped node; Dep the dependency that failed or was
+	// itself skipped; Cause that dependency's error.
+	Node, Dep string
+	Cause     error
+}
+
+func (e *SkipError) Error() string {
+	return fmt.Sprintf("campaign: node %q skipped: dependency %q failed: %v", e.Node, e.Dep, e.Cause)
+}
+
+// Unwrap exposes the dependency's failure for errors.Is/As chains.
+func (e *SkipError) Unwrap() error { return e.Cause }
+
+// Options tunes one Run invocation.
+type Options struct {
+	// Resume maps node names to previously-computed values. A node found
+	// here does not execute; its outcome carries the restored value with
+	// Resumed set. Unknown names are ignored.
+	Resume map[string]any
+	// OnDone, when non-nil, is called once per node in completion order,
+	// serially (never concurrently), including resumed and skipped nodes.
+	// It is the checkpoint hook: persisting each outcome as it lands is
+	// what lets a killed campaign resume.
+	OnDone func(o *Outcome)
+	// Workers caps concurrently-running nodes; 0 means no cap (the graph
+	// width is the natural bound).
+	Workers int
+}
+
+// Result is the terminal state of a whole graph run.
+type Result struct {
+	// Outcomes holds every node's terminal state, keyed by name.
+	Outcomes map[string]*Outcome
+	// Order is the completion order of the run (resumed nodes first).
+	Order []string
+}
+
+// Complete reports whether every node produced a usable value.
+func (r *Result) Complete() bool {
+	for _, o := range r.Outcomes {
+		if !o.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// Outcome returns the named node's outcome (nil when unknown).
+func (r *Result) Outcome(name string) *Outcome { return r.Outcomes[name] }
+
+// Failed returns the names of nodes that ran and failed, sorted.
+func (r *Result) Failed() []string {
+	var out []string
+	for name, o := range r.Outcomes {
+		if o.Err != nil && !o.Skipped {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Skipped returns the names of nodes that never ran, sorted.
+func (r *Result) Skipped() []string {
+	var out []string
+	for name, o := range r.Outcomes {
+		if o.Skipped {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the graph. Ready nodes (all dependencies satisfied) run
+// concurrently, bounded by Options.Workers; a node whose dependency
+// failed or was skipped is skipped with a *SkipError outcome rather than
+// aborting the run, so one broken engine still yields a partial campaign
+// with structured causes. Graph-shape mistakes — duplicate or empty
+// names, unknown dependencies, cycles — fail up front before any node
+// runs. A panicking node is recovered and recorded as that node's error.
+// When ctx is cancelled, running nodes see the cancellation through
+// their own ctx, not-yet-started nodes are skipped, and Run returns the
+// partial Result alongside ctx's error.
+func Run(ctx context.Context, nodes []Node, opts Options) (*Result, error) {
+	if err := check(nodes); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	byName := make(map[string]*Node, len(nodes))
+	waiting := make(map[string]int, len(nodes)) // unmet dependency count
+	dependents := make(map[string][]string, len(nodes))
+	for i := range nodes {
+		n := &nodes[i]
+		byName[n.Name] = n
+		waiting[n.Name] = len(n.Deps)
+		for _, d := range n.Deps {
+			dependents[d] = append(dependents[d], n.Name)
+		}
+	}
+
+	res := &Result{Outcomes: make(map[string]*Outcome, len(nodes))}
+	type doneMsg struct {
+		name    string
+		value   any
+		err     error
+		elapsed time.Duration
+	}
+	done := make(chan doneMsg)
+	running := 0
+	sem := opts.Workers
+
+	// finish records o, fires the hook, and unblocks dependents. It runs
+	// only on the coordinating goroutine, so Outcomes and the hook need
+	// no locking.
+	var ready []string
+	finish := func(o *Outcome) {
+		res.Outcomes[o.Name] = o
+		res.Order = append(res.Order, o.Name)
+		if opts.OnDone != nil {
+			opts.OnDone(o)
+		}
+		for _, depName := range dependents[o.Name] {
+			waiting[depName]--
+			if waiting[depName] == 0 {
+				ready = append(ready, depName)
+			}
+		}
+	}
+
+	// Seed: resumed nodes complete instantly; nodes with no deps are
+	// ready. Iterate in declaration order for a deterministic resume
+	// prefix.
+	for i := range nodes {
+		if waiting[nodes[i].Name] == 0 {
+			ready = append(ready, nodes[i].Name)
+		}
+	}
+
+	start := func(name string) {
+		n := byName[name]
+		// Snapshot the dependency values here, on the coordinating
+		// goroutine: the Outcomes map keeps growing while the node runs,
+		// so the spawned goroutine must never touch it.
+		deps := make(map[string]any, len(n.Deps))
+		for _, d := range n.Deps {
+			deps[d] = res.Outcomes[d].Value
+		}
+		running++
+		go func() {
+			t0 := time.Now()
+			value, err := runNode(ctx, n, deps)
+			done <- doneMsg{name: name, value: value, err: err, elapsed: time.Since(t0)}
+		}()
+	}
+
+	for len(res.Outcomes) < len(nodes) {
+		// Drain the ready list: resume, skip, or start each node.
+		for len(ready) > 0 && (sem <= 0 || running < sem) {
+			name := ready[0]
+			ready = ready[1:]
+			n := byName[name]
+			if v, ok := opts.Resume[name]; ok {
+				finish(&Outcome{Name: name, Value: v, Resumed: true})
+				continue
+			}
+			if cause, dep := failedDep(n, res.Outcomes); dep != "" {
+				finish(&Outcome{Name: name, Skipped: true,
+					Err: &SkipError{Node: name, Dep: dep, Cause: cause}})
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				finish(&Outcome{Name: name, Skipped: true,
+					Err: fmt.Errorf("campaign: node %q skipped: %w", name, err)})
+				continue
+			}
+			start(name)
+		}
+		if running == 0 {
+			// After the drain loop, an empty in-flight set means an empty
+			// ready list too (capacity can only be exhausted by running
+			// nodes) — every remaining node already completed.
+			break
+		}
+		msg := <-done
+		running--
+		finish(&Outcome{Name: msg.name, Value: msg.value, Err: msg.err, Elapsed: msg.elapsed})
+	}
+	return res, ctx.Err()
+}
+
+// runNode invokes n.Run with panic isolation on the dependency values
+// snapshotted by the coordinator.
+func runNode(ctx context.Context, n *Node, deps map[string]any) (value any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("campaign: node %q panicked: %v", n.Name, r)
+		}
+	}()
+	return n.Run(ctx, deps)
+}
+
+// failedDep returns the first dependency of n that did not produce a
+// value, with its cause ("" when all are fine). Dependencies are checked
+// in declaration order so the reported cause is deterministic.
+func failedDep(n *Node, outcomes map[string]*Outcome) (cause error, dep string) {
+	for _, d := range n.Deps {
+		if o := outcomes[d]; o != nil && !o.OK() {
+			return o.Err, d
+		}
+	}
+	return nil, ""
+}
+
+// check validates the graph shape: unique non-empty names, known
+// dependencies, non-nil Run, and no cycles.
+func check(nodes []Node) error {
+	byName := make(map[string]*Node, len(nodes))
+	for i := range nodes {
+		n := &nodes[i]
+		if n.Name == "" {
+			return fmt.Errorf("campaign: node %d has no name", i)
+		}
+		if _, dup := byName[n.Name]; dup {
+			return fmt.Errorf("campaign: duplicate node %q", n.Name)
+		}
+		if n.Run == nil {
+			return fmt.Errorf("campaign: node %q has no Run", n.Name)
+		}
+		byName[n.Name] = n
+	}
+	for i := range nodes {
+		for _, d := range nodes[i].Deps {
+			if _, ok := byName[d]; !ok {
+				return fmt.Errorf("campaign: node %q depends on unknown node %q", nodes[i].Name, d)
+			}
+		}
+	}
+	// Colour-marking DFS cycle check.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[string]int, len(nodes))
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch colour[name] {
+		case grey:
+			return fmt.Errorf("campaign: dependency cycle through node %q", name)
+		case black:
+			return nil
+		}
+		colour[name] = grey
+		for _, d := range byName[name].Deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		colour[name] = black
+		return nil
+	}
+	for i := range nodes {
+		if err := visit(nodes[i].Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Names returns the node names in declaration order — the stable index
+// space callers use for checkpoint sequence numbers.
+func Names(nodes []Node) []string {
+	out := make([]string, len(nodes))
+	for i := range nodes {
+		out[i] = nodes[i].Name
+	}
+	return out
+}

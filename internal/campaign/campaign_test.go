@@ -1,0 +1,286 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// value is a trivial node body returning v.
+func value(v any) func(context.Context, map[string]any) (any, error) {
+	return func(context.Context, map[string]any) (any, error) { return v, nil }
+}
+
+func TestLinearChainPassesValues(t *testing.T) {
+	nodes := []Node{
+		{Name: "a", Run: value(1)},
+		{Name: "b", Deps: []string{"a"}, Run: func(_ context.Context, deps map[string]any) (any, error) {
+			return deps["a"].(int) + 1, nil
+		}},
+		{Name: "c", Deps: []string{"b"}, Run: func(_ context.Context, deps map[string]any) (any, error) {
+			return deps["b"].(int) + 1, nil
+		}},
+	}
+	res, err := Run(context.Background(), nodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() {
+		t.Fatalf("chain incomplete: %+v", res.Outcomes)
+	}
+	if got := res.Outcome("c").Value; got != 3 {
+		t.Errorf("c = %v, want 3 (values threaded through deps)", got)
+	}
+	if want := []string{"a", "b", "c"}; fmt.Sprint(res.Order) != fmt.Sprint(want) {
+		t.Errorf("completion order %v, want %v", res.Order, want)
+	}
+}
+
+// TestDiamondRunsReadyNodesConcurrently proves the two middle nodes of a
+// diamond overlap in time: each blocks until the other has started.
+// A serial executor would deadlock here; the 10 s guard turns that into
+// a failure.
+func TestDiamondRunsReadyNodesConcurrently(t *testing.T) {
+	bStarted := make(chan struct{})
+	cStarted := make(chan struct{})
+	wait := func(mine chan struct{}, other chan struct{}) func(context.Context, map[string]any) (any, error) {
+		return func(ctx context.Context, _ map[string]any) (any, error) {
+			close(mine)
+			select {
+			case <-other:
+				return "ok", nil
+			case <-time.After(10 * time.Second):
+				return nil, errors.New("peer never started: nodes did not overlap")
+			}
+		}
+	}
+	nodes := []Node{
+		{Name: "a", Run: value("src")},
+		{Name: "b", Deps: []string{"a"}, Run: wait(bStarted, cStarted)},
+		{Name: "c", Deps: []string{"a"}, Run: wait(cStarted, bStarted)},
+		{Name: "d", Deps: []string{"b", "c"}, Run: value("sink")},
+	}
+	res, err := Run(context.Background(), nodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() {
+		t.Fatalf("diamond incomplete: failed=%v skipped=%v", res.Failed(), res.Skipped())
+	}
+}
+
+func TestWorkersCapBoundsConcurrency(t *testing.T) {
+	var inflight, peak atomic.Int32
+	body := func(context.Context, map[string]any) (any, error) {
+		n := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inflight.Add(-1)
+		return nil, nil
+	}
+	var nodes []Node
+	for i := 0; i < 8; i++ {
+		nodes = append(nodes, Node{Name: fmt.Sprintf("n%d", i), Run: body})
+	}
+	if _, err := Run(context.Background(), nodes, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("observed %d concurrent nodes, Workers caps at 2", p)
+	}
+}
+
+func TestShapeErrorsFailBeforeAnyNodeRuns(t *testing.T) {
+	ran := false
+	spy := func(context.Context, map[string]any) (any, error) { ran = true; return nil, nil }
+	cases := []struct {
+		name  string
+		nodes []Node
+		want  string
+	}{
+		{"empty name", []Node{{Name: "", Run: spy}}, "no name"},
+		{"duplicate", []Node{{Name: "a", Run: spy}, {Name: "a", Run: spy}}, "duplicate"},
+		{"nil run", []Node{{Name: "a"}}, "no Run"},
+		{"unknown dep", []Node{{Name: "a", Deps: []string{"ghost"}, Run: spy}}, "unknown node"},
+		{"cycle", []Node{
+			{Name: "a", Deps: []string{"b"}, Run: spy},
+			{Name: "b", Deps: []string{"a"}, Run: spy},
+		}, "cycle"},
+		{"self cycle", []Node{{Name: "a", Deps: []string{"a"}, Run: spy}}, "cycle"},
+	}
+	for _, tc := range cases {
+		res, err := Run(context.Background(), tc.nodes, Options{})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+		if res != nil {
+			t.Errorf("%s: got a result for a malformed graph", tc.name)
+		}
+	}
+	if ran {
+		t.Error("a node ran despite a graph-shape error")
+	}
+}
+
+func TestFailureSkipsTransitiveDependents(t *testing.T) {
+	boom := errors.New("engine exploded")
+	nodes := []Node{
+		{Name: "ok", Run: value(1)},
+		{Name: "bad", Run: func(context.Context, map[string]any) (any, error) { return nil, boom }},
+		{Name: "child", Deps: []string{"bad"}, Run: value(2)},
+		{Name: "grandchild", Deps: []string{"child", "ok"}, Run: value(3)},
+	}
+	res, err := Run(context.Background(), nodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Failed(); len(got) != 1 || got[0] != "bad" {
+		t.Errorf("Failed() = %v, want [bad]", got)
+	}
+	if got := res.Skipped(); fmt.Sprint(got) != "[child grandchild]" {
+		t.Errorf("Skipped() = %v, want [child grandchild]", got)
+	}
+	if res.Outcome("ok") == nil || !res.Outcome("ok").OK() {
+		t.Error("independent node did not complete")
+	}
+	var skip *SkipError
+	if err := res.Outcome("child").Err; !errors.As(err, &skip) {
+		t.Fatalf("child error %T, want *SkipError", err)
+	} else if skip.Node != "child" || skip.Dep != "bad" {
+		t.Errorf("SkipError = %+v, want node child / dep bad", skip)
+	}
+	// The root cause survives the skip chain for errors.Is.
+	if err := res.Outcome("grandchild").Err; !errors.Is(err, boom) {
+		t.Errorf("grandchild cause = %v, want the original failure via Unwrap", err)
+	}
+	if res.Complete() {
+		t.Error("Complete() true with failed and skipped nodes")
+	}
+}
+
+func TestResumeSkipsExecution(t *testing.T) {
+	ran := false
+	nodes := []Node{
+		{Name: "a", Run: func(context.Context, map[string]any) (any, error) { ran = true; return "fresh", nil }},
+		{Name: "b", Deps: []string{"a"}, Run: func(_ context.Context, deps map[string]any) (any, error) {
+			return deps["a"].(string) + "+b", nil
+		}},
+	}
+	res, err := Run(context.Background(), nodes, Options{Resume: map[string]any{"a": "restored"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("resumed node executed its Run")
+	}
+	o := res.Outcome("a")
+	if !o.Resumed || o.Value != "restored" {
+		t.Errorf("outcome a = %+v, want resumed with the restored value", o)
+	}
+	if got := res.Outcome("b").Value; got != "restored+b" {
+		t.Errorf("b = %v: dependents must see the restored value", got)
+	}
+}
+
+func TestPanicIsRecoveredPerNode(t *testing.T) {
+	nodes := []Node{
+		{Name: "kaboom", Run: func(context.Context, map[string]any) (any, error) { panic("tripped") }},
+		{Name: "after", Deps: []string{"kaboom"}, Run: value(1)},
+		{Name: "bystander", Run: value(2)},
+	}
+	res, err := Run(context.Background(), nodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := res.Outcome("kaboom").Err; e == nil || !strings.Contains(e.Error(), "panicked") {
+		t.Errorf("panicking node error = %v, want a recorded panic", e)
+	}
+	if !res.Outcome("bystander").OK() {
+		t.Error("a panic in one node took down an independent node")
+	}
+	if got := res.Skipped(); fmt.Sprint(got) != "[after]" {
+		t.Errorf("Skipped() = %v, want [after]", got)
+	}
+}
+
+// TestCancellationYieldsPartialResult cancels while the first node is
+// in flight: the run must still return an outcome for every node —
+// the running one with its error, unstarted ones skipped — plus ctx's
+// error, which is how executeSignoff knows to mark the report partial.
+func TestCancellationYieldsPartialResult(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	nodes := []Node{
+		{Name: "slow", Run: func(ctx context.Context, _ map[string]any) (any, error) {
+			cancel()
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}},
+		{Name: "next", Deps: []string{"slow"}, Run: value(1)},
+	}
+	res, err := Run(ctx, nodes, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Outcomes) != len(nodes) {
+		t.Fatalf("%d outcomes for %d nodes: every node needs a terminal state", len(res.Outcomes), len(nodes))
+	}
+	if o := res.Outcome("next"); !o.Skipped {
+		t.Errorf("unstarted dependent = %+v, want skipped", o)
+	}
+}
+
+// TestOnDoneSerialAndComplete drives a wide graph with unbounded workers
+// and checks the checkpoint hook's contract under -race: exactly one
+// call per node, never two concurrently.
+func TestOnDoneSerialAndComplete(t *testing.T) {
+	var nodes []Node
+	for i := 0; i < 16; i++ {
+		nodes = append(nodes, Node{Name: fmt.Sprintf("n%d", i), Run: value(i)})
+	}
+	var mu sync.Mutex
+	inHook := false
+	seen := map[string]int{}
+	res, err := Run(context.Background(), nodes, Options{OnDone: func(o *Outcome) {
+		mu.Lock()
+		if inHook {
+			mu.Unlock()
+			t.Error("OnDone reentered concurrently")
+			return
+		}
+		inHook = true
+		seen[o.Name]++
+		mu.Unlock()
+
+		mu.Lock()
+		inHook = false
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() {
+		t.Fatal("wide graph incomplete")
+	}
+	for _, n := range Names(nodes) {
+		if seen[n] != 1 {
+			t.Errorf("OnDone saw %q %d times, want exactly once", n, seen[n])
+		}
+	}
+}
+
+func TestNamesDeclarationOrder(t *testing.T) {
+	nodes := []Node{{Name: "z", Run: value(0)}, {Name: "a", Run: value(0)}}
+	if got := Names(nodes); fmt.Sprint(got) != "[z a]" {
+		t.Errorf("Names = %v, want declaration order [z a]", got)
+	}
+}

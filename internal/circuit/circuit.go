@@ -287,6 +287,20 @@ func (c *Circuit) MOSFETs() []*MOSFET {
 	return out
 }
 
+// ResistorNames returns every resistor's name in sorted order — the
+// enumeration the electromigration layer walks to synthesize wire
+// geometries for a whole deck.
+func (c *Circuit) ResistorNames() []string {
+	var out []string
+	for _, e := range c.elements {
+		if r, ok := e.(*resistor); ok {
+			out = append(out, r.nm)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // prepare assigns branch indices to branch elements. Branch unknowns live
 // after the node unknowns, so the assignment is redone from scratch on
 // every call: element order is fixed, which keeps indices stable between

@@ -302,6 +302,15 @@ dispatch:
 			}
 			if o.values[k] != nil {
 				for m, v := range o.values[k] {
+					// A NaN metric is a measured reject: it already failed
+					// the spec check, but folding it into the moments would
+					// poison mean/σ for every surviving die at this
+					// checkpoint. Keep it out of the dispersion summary,
+					// mirroring variation.MCStats (NaNs counted for yield,
+					// excluded from Moments).
+					if math.IsNaN(v) {
+						continue
+					}
 					stats[m].Add(v)
 				}
 			}

@@ -1,0 +1,110 @@
+package jobspec
+
+import (
+	"context"
+	"fmt"
+)
+
+// exampleDeck is the shared two-transistor inverter the examples run on:
+// small enough to solve in microseconds, real enough to show mismatch.
+const exampleDeck = `
+* cmos inverter at 90nm
+.tech 90nm
+.temp 300
+VDD vdd 0 DC 1.1
+VIN in 0 DC 0.55
+MN out in 0 0 NMOS W=1u L=90n
+MP out in vdd vdd PMOS W=2u L=90n
+.end
+`
+
+// ExampleExecute_corners sweeps the five classic global corners and
+// judges each against a spec window on V(out).
+func ExampleExecute_corners() {
+	lo, hi := 0.0, 1.0
+	spec := &Spec{
+		Analysis: KindCorners,
+		Netlist:  exampleDeck,
+		Corners:  &CornersParams{Node: "out", Lo: &lo, Hi: &hi},
+	}
+	spec.ApplyDefaults()
+
+	res, err := Execute(context.Background(), spec)
+	if err != nil {
+		panic(err)
+	}
+	c := res.Corners
+	fmt.Printf("corners: %d\n", len(c.Corners))
+	fmt.Printf("worst: %s\n", c.Worst)
+	fmt.Printf("pass: %v\n", c.Pass)
+	// Output:
+	// corners: 5
+	// worst: FS
+	// pass: true
+}
+
+// ExampleExecute_centering climbs parametric yield by resizing the
+// inverter's transistors as one matched group ("MN+MP"): widening both
+// preserves the switching point while the Pelgrom 1/√(WL) law shrinks
+// the mismatch spread inside the window.
+func ExampleExecute_centering() {
+	lo, hi := 0.056, 0.079
+	spec := &Spec{
+		Analysis: KindCentering,
+		Netlist:  exampleDeck,
+		Seed:     5,
+		Centering: &CenteringParams{
+			Node: "out", Lo: &lo, Hi: &hi,
+			Trials: 96, MaxIters: 3, Devices: []string{"MN+MP"},
+		},
+	}
+	spec.ApplyDefaults()
+
+	res, err := Execute(context.Background(), spec)
+	if err != nil {
+		panic(err)
+	}
+	c := res.Centering
+	fmt.Printf("yield: %.1f%% -> %.1f%%\n", 100*c.Baseline.Yield.Yield, 100*c.Final.Yield.Yield)
+	fmt.Printf("moves: %d\n", len(c.Trajectory)-1)
+	// Output:
+	// yield: 68.8% -> 85.4%
+	// moves: 3
+}
+
+// ExampleExecute_signoff runs the composite campaign — corner sweep,
+// Monte-Carlo at the worst corner, mission aging, and the wear-out
+// failure-rate roll-up — into one compliance report (schema:
+// docs/REPORT_SCHEMA.md).
+func ExampleExecute_signoff() {
+	lo, hi := 0.0, 1.0
+	spec := &Spec{
+		Analysis: KindSignoff,
+		Netlist:  exampleDeck,
+		Seed:     3,
+		Signoff:  &SignoffParams{Node: "out", Lo: &lo, Hi: &hi, Trials: 48},
+	}
+	spec.ApplyDefaults()
+
+	res, err := Execute(context.Background(), spec)
+	if err != nil {
+		panic(err)
+	}
+	r := res.Signoff
+	fmt.Printf("schema: v%d\n", r.SchemaVersion)
+	fmt.Printf("worst corner: %s\n", r.Corners.Worst)
+	fmt.Printf("yield at %s: %.1f%%\n", r.Yield.Corner, r.Yield.YieldPct)
+	fmt.Printf("pass: %v\n", r.Pass)
+	for _, sj := range r.Provenance {
+		fmt.Printf("  node %s ok=%v\n", sj.Name, sj.Error == "" && !sj.Skipped)
+	}
+	// Output:
+	// schema: v1
+	// worst corner: FS
+	// yield at FS: 100.0%
+	// pass: true
+	//   node corners ok=true
+	//   node mc ok=true
+	//   node age ok=true
+	//   node wearout ok=true
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sync"
 	"time"
@@ -52,6 +53,13 @@ type Options struct {
 	// job server uses to dispatch shards to peer servers. Nil falls back
 	// to executing every shard in this process.
 	RunShard func(ctx context.Context, shard int, sub *Spec) (*Result, error)
+	// RunSub, when non-nil, executes one sub-job of a composite (signoff)
+	// campaign and reports whether the result was answered from a
+	// spec-keyed result cache rather than executed — the hook the job
+	// server uses to share sub-results with identical standalone
+	// submissions. Nil falls back to executing the sub-spec in this
+	// process (never cached).
+	RunSub func(ctx context.Context, name string, sub *Spec) (*Result, bool, error)
 }
 
 // Checkpoint is one durable unit of Monte-Carlo campaign progress: the
@@ -167,6 +175,10 @@ func ExecuteOpts(ctx context.Context, spec *Spec, opts Options) (*Result, error)
 		err = executeMC(ctx, text, deck, spec, res, opts)
 	case KindCorners:
 		err = executeCorners(deck, spec, res)
+	case KindCentering:
+		err = executeCentering(ctx, text, deck, spec, res, opts)
+	case KindSignoff:
+		err = executeSignoff(ctx, text, deck, spec, res, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -443,7 +455,9 @@ func mcOutcome(p *MCParams, mc *variation.MCResult, chunks []variation.ChunkStat
 			out.FailuresByKind = st.ByKind
 			out.FirstFailure = st.First
 		}
-		if p.HasSpec() && st.Moments.Count > 0 {
+		// NaN dies are measured rejects, so a campaign where every die
+		// measured NaN still has a (zero) yield.
+		if p.HasSpec() && int(st.Moments.Count)+st.NaNs > 0 {
 			y := st.Yield()
 			out.Yield = &y
 		}
@@ -492,6 +506,16 @@ func executeMC(ctx context.Context, text string, deck *netlist.Deck, spec *Spec,
 	if p.HasSpec() {
 		vspec = &variation.Spec{Name: p.Node, Lo: p.SpecLo(), Hi: p.SpecHi()}
 	}
+	// A corner-pinned campaign holds the systematic (die-to-die) component
+	// at a named corner while the local Pelgrom part still varies per die.
+	var pinned *variation.Corner
+	if p.Corner != nil {
+		co, ok := variation.CornerByName(p.Corner.Name, p.Corner.SigmaVT, p.Corner.SigmaBeta)
+		if !ok {
+			return fmt.Errorf("jobspec: unknown mc corner %q", p.Corner.Name)
+		}
+		pinned = &co
+	}
 	var chunks []variation.ChunkStat
 	camp := &variation.Campaign{
 		Trials: p.Trials,
@@ -512,7 +536,11 @@ func executeMC(ctx context.Context, text string, deck *netlist.Deck, spec *Spec,
 			if guess != nil {
 				_ = die.deck.Circuit.SetInitialGuess(guess)
 			}
-			variation.ApplyRandomMismatch(die.deck.Circuit, die.deck.Tech, variation.NominalCorner(), rng)
+			if pinned != nil {
+				variation.ApplyRandomMismatchAtCorner(die.deck.Circuit, die.deck.Tech, *pinned, rng)
+			} else {
+				variation.ApplyRandomMismatch(die.deck.Circuit, die.deck.Tech, variation.NominalCorner(), rng)
+			}
 			sol, err := die.deck.Circuit.OperatingPoint()
 			if err != nil {
 				return 0, err
@@ -687,9 +715,41 @@ func executeCorners(deck *netlist.Deck, spec *Spec, res *Result) error {
 	if err != nil {
 		return err
 	}
-	out := &CornersResult{Node: p.Node}
+	out := &CornersResult{Node: p.Node, Lo: p.Lo, Hi: p.Hi, Pass: true}
+	hasSpec := p.HasSpec()
+	lo, hi := p.SpecLo(), p.SpecHi()
+	ttV := vals["TT"]
+	worstKey := math.Inf(1) // spec margin, or -|deviation from TT| without a spec
 	for _, co := range corners {
-		out.Corners = append(out.Corners, CornerValue{Name: co.Name, V: vals[co.Name]})
+		v := vals[co.Name]
+		cv := CornerValue{Name: co.Name, V: v}
+		var key float64
+		if hasSpec {
+			pass := v >= lo && v <= hi // NaN fails both comparisons
+			cv.Pass = &pass
+			if !pass {
+				out.Pass = false
+			}
+			margin := math.Min(v-lo, hi-v)
+			if !math.IsNaN(margin) && !math.IsInf(margin, 0) {
+				cv.Margin = &margin
+			}
+			key = margin
+		} else {
+			key = -math.Abs(v - ttV)
+		}
+		if math.IsNaN(key) {
+			key = math.Inf(-1) // an undefined measurement is the worst case
+		}
+		if key < worstKey {
+			worstKey = key
+			out.Worst, out.WorstV = co.Name, v
+		}
+		out.Corners = append(out.Corners, cv)
+	}
+	if out.Worst == "" {
+		// Degenerate sweep (every corner identical): TT is the worst case.
+		out.Worst, out.WorstV = "TT", ttV
 	}
 	res.Corners = out
 	return nil

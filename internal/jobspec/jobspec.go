@@ -23,10 +23,13 @@ import (
 )
 
 // SpecVersion is the current schema version. Version 0 in an incoming
-// document means "unversioned, oldest" and is upgraded to 1 by
-// ApplyDefaults; versions above SpecVersion are rejected by Validate so
-// an old server never silently misreads a newer client's spec.
-const SpecVersion = 1
+// document means "unversioned, oldest" and is upgraded to the current
+// version by ApplyDefaults; versions above SpecVersion are rejected by
+// Validate so an old server never silently misreads a newer client's
+// spec. Version 2 added the yield-campaign layer: spec limits and
+// worst-corner identification on corners, the mc corner pin, and the
+// centering and signoff analyses. Version-1 documents remain valid.
+const SpecVersion = 2
 
 // Kind names one analysis.
 type Kind string
@@ -38,13 +41,16 @@ const (
 	KindSweep   Kind = "sweep"   // DC source sweep
 	KindAC      Kind = "ac"      // small-signal frequency sweep
 	KindAge     Kind = "age"     // NBTI/HCI/TDDB mission aging
-	KindMC      Kind = "mc"      // Monte-Carlo mismatch
-	KindCorners Kind = "corners" // TT/SS/FF/SF/FS global corners
+	KindMC        Kind = "mc"        // Monte-Carlo mismatch
+	KindCorners   Kind = "corners"   // TT/SS/FF/SF/FS global corners
+	KindCentering Kind = "centering" // design-centering yield optimization
+	KindSignoff   Kind = "signoff"   // composite corners→MC→aging/EM signoff campaign
 )
 
 // Kinds lists every valid analysis kind in documentation order.
 func Kinds() []Kind {
-	return []Kind{KindOP, KindTran, KindSweep, KindAC, KindAge, KindMC, KindCorners}
+	return []Kind{KindOP, KindTran, KindSweep, KindAC, KindAge, KindMC,
+		KindCorners, KindCentering, KindSignoff}
 }
 
 // ErrUnknownAnalysis tags validation failures caused by an unrecognised
@@ -118,12 +124,14 @@ type Spec struct {
 
 	// Exactly the parameter block matching Analysis is consulted; the
 	// others may be nil.
-	Tran    *TranParams    `json:"tran,omitempty"`
-	Sweep   *SweepParams   `json:"sweep,omitempty"`
-	AC      *ACParams      `json:"ac,omitempty"`
-	Age     *AgeParams     `json:"age,omitempty"`
-	MC      *MCParams      `json:"mc,omitempty"`
-	Corners *CornersParams `json:"corners,omitempty"`
+	Tran      *TranParams      `json:"tran,omitempty"`
+	Sweep     *SweepParams     `json:"sweep,omitempty"`
+	AC        *ACParams        `json:"ac,omitempty"`
+	Age       *AgeParams       `json:"age,omitempty"`
+	MC        *MCParams        `json:"mc,omitempty"`
+	Corners   *CornersParams   `json:"corners,omitempty"`
+	Centering *CenteringParams `json:"centering,omitempty"`
+	Signoff   *SignoffParams   `json:"signoff,omitempty"`
 }
 
 // TranParams parameterizes a transient analysis.
@@ -194,6 +202,25 @@ type MCParams struct {
 	// campaign count (it defines the grid and every trial's RNG stream);
 	// Range selects which slice of it this execution computes.
 	Range *TrialRange `json:"range,omitempty"`
+	// Corner pins the campaign to one named global process corner: every
+	// trial's sampled local mismatch rides on top of the corner's
+	// deterministic per-polarity ΔVT/β shift. Like Range it IS part of
+	// CanonicalHash — Monte-Carlo at SS is different work than at TT.
+	// nil means nominal (no global shift), the pre-v2 behaviour.
+	Corner *CornerShift `json:"corner,omitempty"`
+}
+
+// CornerShift names the global process corner a Monte-Carlo campaign is
+// pinned to (see variation.StandardCorners) and the 3σ levels that define
+// it. The signoff campaign uses it to re-run yield at the worst corner
+// found by the corner sweep.
+type CornerShift struct {
+	// Name is one of TT, SS, FF, SF, FS.
+	Name string `json:"name"`
+	// SigmaVT [V] and SigmaBeta (fractional) set the 3σ corner levels;
+	// ApplyDefaults picks 0.03 V and 0.08, matching the corners analysis.
+	SigmaVT   float64 `json:"sigma_vt,omitempty"`
+	SigmaBeta float64 `json:"sigma_beta,omitempty"`
 }
 
 // TrialRange is a half-open global trial range [From, To) on the
@@ -229,7 +256,142 @@ type CornersParams struct {
 	// SigmaVT [V] and SigmaBeta (fractional) set the 3σ corner levels.
 	SigmaVT   float64 `json:"sigma_vt,omitempty"`
 	SigmaBeta float64 `json:"sigma_beta,omitempty"`
+	// Lo/Hi bound the per-corner spec window; nil means unbounded on that
+	// side (JSON cannot carry ±Inf). With at least one bound set, each
+	// corner gets a pass verdict and a worst-case margin; unset keeps the
+	// pre-v2 behaviour (values only, worst = largest deviation from TT).
+	Lo *float64 `json:"lo,omitempty"`
+	Hi *float64 `json:"hi,omitempty"`
 }
+
+// SpecLo returns the lower spec bound (-Inf when unset).
+func (p *CornersParams) SpecLo() float64 {
+	if p == nil {
+		return math.Inf(-1)
+	}
+	return loBound(p.Lo)
+}
+
+// SpecHi returns the upper spec bound (+Inf when unset).
+func (p *CornersParams) SpecHi() float64 {
+	if p == nil {
+		return math.Inf(1)
+	}
+	return hiBound(p.Hi)
+}
+
+// HasSpec reports whether either spec bound is set.
+func (p *CornersParams) HasSpec() bool { return p != nil && (p.Lo != nil || p.Hi != nil) }
+
+// loBound/hiBound resolve an optional spec bound to its unbounded
+// sentinel, shared by every parameter block carrying a Lo/Hi window.
+func loBound(v *float64) float64 {
+	if v == nil {
+		return math.Inf(-1)
+	}
+	return *v
+}
+
+func hiBound(v *float64) float64 {
+	if v == nil {
+		return math.Inf(1)
+	}
+	return *v
+}
+
+// CenteringParams parameterizes a design-centering run: a greedy
+// coordinate search over per-device width scale factors that moves the
+// sizing toward maximum yield on the monitored node (paper §4.2 — sizing
+// against variability via the Pelgrom area law).
+type CenteringParams struct {
+	// Node is the monitored node voltage; Lo/Hi its spec window (at least
+	// one bound is required — centering needs a yield to climb).
+	Node string   `json:"node"`
+	Lo   *float64 `json:"lo,omitempty"`
+	Hi   *float64 `json:"hi,omitempty"`
+	// Trials is the Monte-Carlo sample size of each candidate evaluation.
+	// Every candidate in a run reuses the same seed (common random
+	// numbers), so comparisons are paired and deterministic. Default 96.
+	Trials int `json:"trials,omitempty"`
+	// MaxIters bounds the number of accepted moves. Default 6.
+	MaxIters int `json:"max_iters,omitempty"`
+	// Step is the width scale factor of one move (a device is widened or
+	// narrowed by this factor). Default 1.25.
+	Step float64 `json:"step,omitempty"`
+	// MaxScale bounds any device's cumulative width scale (and 1/MaxScale
+	// its shrink), keeping the optimizer inside a plausible layout budget.
+	// Default 4.
+	MaxScale float64 `json:"max_scale,omitempty"`
+	// Devices restricts the search to these move axes (default: every
+	// MOSFET in the deck, individually). An entry is a MOSFET name or
+	// several names joined by '+' ("M1+M2"): the group resizes as one
+	// move, which is how matched pairs must be driven.
+	Devices []string `json:"devices,omitempty"`
+}
+
+// SpecLo returns the lower spec bound (-Inf when unset).
+func (p *CenteringParams) SpecLo() float64 {
+	if p == nil {
+		return math.Inf(-1)
+	}
+	return loBound(p.Lo)
+}
+
+// SpecHi returns the upper spec bound (+Inf when unset).
+func (p *CenteringParams) SpecHi() float64 {
+	if p == nil {
+		return math.Inf(1)
+	}
+	return hiBound(p.Hi)
+}
+
+// HasSpec reports whether either spec bound is set.
+func (p *CenteringParams) HasSpec() bool { return p != nil && (p.Lo != nil || p.Hi != nil) }
+
+// SignoffParams parameterizes the composite signoff campaign: a DAG of
+// sub-jobs (corner sweep → Monte-Carlo at the worst corner, with aging
+// and electromigration roll-ups in parallel) compiled into one
+// compliance report (see internal/report/signoff).
+type SignoffParams struct {
+	// Node is the monitored node voltage; Lo/Hi its spec window (at least
+	// one bound is required — signoff judges yield against it).
+	Node string   `json:"node"`
+	Lo   *float64 `json:"lo,omitempty"`
+	Hi   *float64 `json:"hi,omitempty"`
+	// Trials is the Monte-Carlo sample size at the worst corner.
+	// Default 200.
+	Trials int `json:"trials,omitempty"`
+	// SigmaVT [V] and SigmaBeta (fractional) set the 3σ corner levels of
+	// the corner-sweep stage. Defaults 0.03 V and 0.08.
+	SigmaVT   float64 `json:"sigma_vt,omitempty"`
+	SigmaBeta float64 `json:"sigma_beta,omitempty"`
+	// Years is the mission length and TempK the junction temperature of
+	// the aging and electromigration stages. Defaults 10 years, 350 K.
+	Years float64 `json:"years,omitempty"`
+	TempK float64 `json:"temp_k,omitempty"`
+	// TargetFIT is the failure-rate budget [failures / 10⁹ device-hours]
+	// the reliability section is judged against. Default 1000.
+	TargetFIT float64 `json:"target_fit,omitempty"`
+}
+
+// SpecLo returns the lower spec bound (-Inf when unset).
+func (p *SignoffParams) SpecLo() float64 {
+	if p == nil {
+		return math.Inf(-1)
+	}
+	return loBound(p.Lo)
+}
+
+// SpecHi returns the upper spec bound (+Inf when unset).
+func (p *SignoffParams) SpecHi() float64 {
+	if p == nil {
+		return math.Inf(1)
+	}
+	return hiBound(p.Hi)
+}
+
+// HasSpec reports whether either spec bound is set.
+func (p *SignoffParams) HasSpec() bool { return p != nil && (p.Lo != nil || p.Hi != nil) }
 
 // ApplyDefaults fills every unset field with the documented default —
 // the same values the relsim flags default to — and stamps Version. It
@@ -304,6 +466,14 @@ func (s *Spec) ApplyDefaults() {
 		if s.MC.Batch == 0 {
 			s.MC.Batch = 32
 		}
+		if c := s.MC.Corner; c != nil {
+			if c.SigmaVT == 0 {
+				c.SigmaVT = 0.03
+			}
+			if c.SigmaBeta == 0 {
+				c.SigmaBeta = 0.08
+			}
+		}
 	case KindCorners:
 		if s.Corners == nil {
 			s.Corners = &CornersParams{}
@@ -313,6 +483,44 @@ func (s *Spec) ApplyDefaults() {
 		}
 		if s.Corners.SigmaBeta == 0 {
 			s.Corners.SigmaBeta = 0.08
+		}
+	case KindCentering:
+		if s.Centering == nil {
+			s.Centering = &CenteringParams{}
+		}
+		if s.Centering.Trials == 0 {
+			s.Centering.Trials = 96
+		}
+		if s.Centering.MaxIters == 0 {
+			s.Centering.MaxIters = 6
+		}
+		if s.Centering.Step == 0 {
+			s.Centering.Step = 1.25
+		}
+		if s.Centering.MaxScale == 0 {
+			s.Centering.MaxScale = 4
+		}
+	case KindSignoff:
+		if s.Signoff == nil {
+			s.Signoff = &SignoffParams{}
+		}
+		if s.Signoff.Trials == 0 {
+			s.Signoff.Trials = 200
+		}
+		if s.Signoff.SigmaVT == 0 {
+			s.Signoff.SigmaVT = 0.03
+		}
+		if s.Signoff.SigmaBeta == 0 {
+			s.Signoff.SigmaBeta = 0.08
+		}
+		if s.Signoff.Years == 0 {
+			s.Signoff.Years = 10
+		}
+		if s.Signoff.TempK == 0 {
+			s.Signoff.TempK = 350
+		}
+		if s.Signoff.TargetFIT == 0 {
+			s.Signoff.TargetFIT = 1000
 		}
 	}
 }
@@ -358,7 +566,8 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("jobspec: unsupported spec version %d (max %d)", s.Version, SpecVersion)
 	}
 	switch s.Analysis {
-	case KindOP, KindTran, KindSweep, KindAC, KindAge, KindMC, KindCorners:
+	case KindOP, KindTran, KindSweep, KindAC, KindAge, KindMC, KindCorners,
+		KindCentering, KindSignoff:
 	default:
 		return &ErrUnknownAnalysis{Kind: s.Analysis}
 	}
@@ -422,10 +631,71 @@ func (s *Spec) Validate() error {
 				return fmt.Errorf("jobspec: mc range [%d,%d) not aligned to the %d-trial chunk grid", r.From, r.To, cs)
 			}
 		}
+		if c := s.MC.Corner; c != nil {
+			if !validCornerName(c.Name) {
+				return fmt.Errorf("jobspec: mc corner %q (want one of TT, SS, FF, SF, FS)", c.Name)
+			}
+			if c.SigmaVT < 0 || c.SigmaBeta < 0 {
+				return fmt.Errorf("jobspec: mc corner needs sigma_vt >= 0 and sigma_beta >= 0")
+			}
+		}
 	case KindCorners:
 		if s.Corners == nil || s.Corners.Node == "" {
 			return fmt.Errorf("jobspec: corners needs a node")
 		}
+		if s.Corners.Lo != nil && s.Corners.Hi != nil && *s.Corners.Lo > *s.Corners.Hi {
+			return fmt.Errorf("jobspec: corners spec lo %g above hi %g", *s.Corners.Lo, *s.Corners.Hi)
+		}
+	case KindCentering:
+		p := s.Centering
+		if p == nil || p.Node == "" {
+			return fmt.Errorf("jobspec: centering needs a node")
+		}
+		if !p.HasSpec() {
+			return fmt.Errorf("jobspec: centering needs a spec bound (lo and/or hi) — it optimizes yield against it")
+		}
+		if p.Lo != nil && p.Hi != nil && *p.Lo > *p.Hi {
+			return fmt.Errorf("jobspec: centering spec lo %g above hi %g", *p.Lo, *p.Hi)
+		}
+		if p.Trials < 1 || p.MaxIters < 1 {
+			return fmt.Errorf("jobspec: centering needs trials >= 1 and max_iters >= 1")
+		}
+		if p.Step <= 1 {
+			return fmt.Errorf("jobspec: centering needs step > 1 (a width scale factor)")
+		}
+		if p.MaxScale < p.Step {
+			return fmt.Errorf("jobspec: centering needs max_scale >= step")
+		}
+	case KindSignoff:
+		p := s.Signoff
+		if p == nil || p.Node == "" {
+			return fmt.Errorf("jobspec: signoff needs a node")
+		}
+		if !p.HasSpec() {
+			return fmt.Errorf("jobspec: signoff needs a spec bound (lo and/or hi) — it judges yield against it")
+		}
+		if p.Lo != nil && p.Hi != nil && *p.Lo > *p.Hi {
+			return fmt.Errorf("jobspec: signoff spec lo %g above hi %g", *p.Lo, *p.Hi)
+		}
+		if p.Trials < 1 {
+			return fmt.Errorf("jobspec: signoff needs trials >= 1")
+		}
+		if p.Years <= 0 || p.TempK <= 0 {
+			return fmt.Errorf("jobspec: signoff needs years > 0 and temp_k > 0")
+		}
+		if p.TargetFIT <= 0 {
+			return fmt.Errorf("jobspec: signoff needs target_fit > 0")
+		}
 	}
 	return nil
+}
+
+// validCornerName reports whether name is one of the five standard
+// global corners.
+func validCornerName(name string) bool {
+	switch name {
+	case "TT", "SS", "FF", "SF", "FS":
+		return true
+	}
+	return false
 }

@@ -123,7 +123,8 @@ func TestApplyDefaultsEveryKindValidates(t *testing.T) {
 	for _, k := range Kinds() {
 		s := &Spec{Analysis: k, Netlist: "x"}
 		s.ApplyDefaults()
-		// Sweep/AC/MC/Corners need a source or node no default can invent.
+		// Sweep/AC/MC/Corners need a source or node no default can
+		// invent; centering and signoff additionally need a spec bound.
 		switch k {
 		case KindSweep:
 			s.Sweep.Source = "V1"
@@ -133,6 +134,12 @@ func TestApplyDefaultsEveryKindValidates(t *testing.T) {
 			s.MC.Node = "out"
 		case KindCorners:
 			s.Corners.Node = "out"
+		case KindCentering:
+			s.Centering.Node = "out"
+			s.Centering.Lo = ptr(0.4)
+		case KindSignoff:
+			s.Signoff.Node = "out"
+			s.Signoff.Lo = ptr(0.4)
 		}
 		if err := s.Validate(); err != nil {
 			t.Errorf("%s: defaulted spec invalid: %v", k, err)

@@ -1,6 +1,9 @@
 package jobspec
 
-import "repro/internal/variation"
+import (
+	"repro/internal/report/signoff"
+	"repro/internal/variation"
+)
 
 // Result is the structured outcome of one executed Spec — everything a
 // renderer (CLI tables/CSV) or an API client (JSON) needs, with exactly
@@ -23,11 +26,13 @@ type Result struct {
 	Partial bool   `json:"partial,omitempty"`
 	Warning string `json:"warning,omitempty"`
 
-	OP      *OPResult      `json:"op,omitempty"`
-	Series  *Series        `json:"series,omitempty"` // tran, sweep, ac
-	Age     *AgeResult     `json:"age,omitempty"`
-	MC      *MCOutcome     `json:"mc,omitempty"`
-	Corners *CornersResult `json:"corners,omitempty"`
+	OP        *OPResult         `json:"op,omitempty"`
+	Series    *Series           `json:"series,omitempty"` // tran, sweep, ac
+	Age       *AgeResult        `json:"age,omitempty"`
+	MC        *MCOutcome        `json:"mc,omitempty"`
+	Corners   *CornersResult    `json:"corners,omitempty"`
+	Centering *CenteringOutcome `json:"centering,omitempty"`
+	Signoff   *signoff.Report   `json:"signoff,omitempty"`
 }
 
 // NodeVoltage is one (node, voltage) pair in report order.
@@ -137,14 +142,78 @@ func (m *MCOutcome) Completed() int {
 	return len(m.Values) + m.NaNs + m.Failures
 }
 
-// CornersResult is a global-corner sweep of one node voltage.
+// CornersResult is a global-corner sweep of one node voltage with
+// worst-case identification, and — when the spec carried limits — a
+// per-corner pass/fail verdict.
 type CornersResult struct {
 	Node    string        `json:"node"`
 	Corners []CornerValue `json:"corners"`
+	// Lo/Hi echo the spec window the corners were judged against; both
+	// absent when the sweep ran without limits.
+	Lo *float64 `json:"lo,omitempty"`
+	Hi *float64 `json:"hi,omitempty"`
+	// Worst names the worst-case corner: minimal spec margin when limits
+	// were given, otherwise the largest deviation from TT. WorstV is its
+	// value.
+	Worst  string  `json:"worst,omitempty"`
+	WorstV float64 `json:"worst_v,omitempty"`
+	// Pass reports whether every corner met the window (vacuously true
+	// without limits).
+	Pass bool `json:"pass"`
 }
 
 // CornerValue is one corner's result.
 type CornerValue struct {
 	Name string  `json:"name"`
 	V    float64 `json:"v"`
+	// Pass and Margin are the spec verdict and the distance to the
+	// nearest spec edge (negative when out of spec); absent when the
+	// sweep ran without limits. A NaN measurement fails with no margin.
+	Pass   *bool    `json:"pass,omitempty"`
+	Margin *float64 `json:"margin,omitempty"`
+}
+
+// CenteringOutcome is a design-centering run: the yield trajectory of
+// the greedy width search and the final per-device sizing.
+type CenteringOutcome struct {
+	Node string `json:"node"`
+	// Trials is the Monte-Carlo sample size of each candidate evaluation
+	// (common random numbers across candidates).
+	Trials int `json:"trials"`
+	// Baseline and Final are the first and last trajectory points; the
+	// demo claim "centering improves yield" is Final.Yield vs
+	// Baseline.Yield.
+	Baseline CenteringPoint `json:"baseline"`
+	Final    CenteringPoint `json:"final"`
+	// Trajectory holds every accepted move, baseline first.
+	Trajectory []CenteringPoint `json:"trajectory"`
+	// Sizing lists each candidate device's final width, sorted by name.
+	Sizing []DeviceScale `json:"sizing"`
+	// Converged reports the search stopped because no move improved,
+	// rather than exhausting max_iters.
+	Converged bool `json:"converged"`
+}
+
+// CenteringPoint is one accepted point of a centering trajectory.
+type CenteringPoint struct {
+	// Iteration numbers the accepted move (0 = uncentered baseline);
+	// Device/Scale identify the move (absent at the baseline).
+	Iteration int     `json:"iteration"`
+	Device    string  `json:"device,omitempty"`
+	Scale     float64 `json:"scale,omitempty"`
+	// Yield is the spec yield at this sizing (NaN dies count as rejects).
+	Yield variation.YieldEstimate `json:"yield"`
+	// Mean and Sigma summarise the metric distribution; absent when no
+	// die produced a finite value.
+	Mean  *float64 `json:"mean,omitempty"`
+	Sigma *float64 `json:"sigma,omitempty"`
+}
+
+// DeviceScale is one device's final centering sizing.
+type DeviceScale struct {
+	Device string `json:"device"`
+	// Scale is the cumulative width scale vs the deck (1 = untouched);
+	// WidthM the resulting drawn width in metres.
+	Scale  float64 `json:"scale"`
+	WidthM float64 `json:"width_m"`
 }

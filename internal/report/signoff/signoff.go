@@ -1,0 +1,354 @@
+// Package signoff defines the versioned compliance report a composite
+// signoff campaign emits — the paper's joint yield-and-reliability
+// verdict in one structured document. The paper argues (§2–§3, §5) that
+// nanometer designs must be judged on parametric yield under process
+// variability (Pelgrom mismatch, Eq. 1), worst-case global corners,
+// front-end wear-out (NBTI/HCI drift, TDDB with Weibull statistics,
+// Eq. 2–3) and back-end electromigration (Black's equation, Eq. 4)
+// together, because each mechanism erodes the margin the others leave.
+// A Report carries exactly that composition: the corner sweep with its
+// worst-case identification, the Monte-Carlo yield (Wilson interval and
+// σ-margin) at that worst corner, the aging roll-up, the FIT rate and
+// MTBF from the Weibull/Black machinery, a failure Pareto by the
+// variation.FailureKind taxonomy, and the provenance of every sub-job
+// that produced a section. The schema is versioned (SchemaVersion) and
+// deterministic: no timestamps, no maps, no NaN/Inf — undefined
+// quantities are encoded by absence — so the same campaign produces a
+// byte-identical JSON report whether it ran through the CLI or the job
+// service, which is what makes reports cacheable and diffable.
+package signoff
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// SchemaVersion is the report schema version, bumped on any
+// field-semantics change so archived reports stay interpretable.
+const SchemaVersion = 1
+
+// Report is one campaign's compliance verdict. Sections are nil when
+// the producing sub-job failed or was skipped; Violations then explains
+// why the report is partial.
+type Report struct {
+	// SchemaVersion is the schema version of this document (SchemaVersion).
+	SchemaVersion int `json:"schema_version"`
+	// Circuit is the deck title; Tech the technology node it targets.
+	Circuit string `json:"circuit,omitempty"`
+	Tech    string `json:"tech,omitempty"`
+	// Node is the monitored node; SpecLo/SpecHi its spec window [V]
+	// (absent side = unbounded).
+	Node   string   `json:"node"`
+	SpecLo *float64 `json:"spec_lo,omitempty"`
+	SpecHi *float64 `json:"spec_hi,omitempty"`
+	// Pass is the composite verdict: every present section passed and no
+	// section is missing. Violations lists each failed criterion.
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+	// Corners, Yield, Aging and Reliability are the per-stage sections.
+	Corners     *CornersSection     `json:"corners,omitempty"`
+	Yield       *YieldSection       `json:"yield,omitempty"`
+	Aging       *AgingSection       `json:"aging,omitempty"`
+	Reliability *ReliabilitySection `json:"reliability,omitempty"`
+	// Pareto ranks trial outcomes of the Monte-Carlo stage by failure
+	// class, most frequent first.
+	Pareto []ParetoEntry `json:"pareto,omitempty"`
+	// Provenance records every sub-job of the campaign DAG, in DAG
+	// declaration order.
+	Provenance []SubJob `json:"provenance,omitempty"`
+}
+
+// CornersSection is the worst-case corner sweep (paper §2.2: global
+// process corners bound the die-to-die component of variability).
+type CornersSection struct {
+	// SigmaVT [V] and SigmaBeta (fractional) are the 3σ levels that
+	// defined the corners.
+	SigmaVT   float64 `json:"sigma_vt"`
+	SigmaBeta float64 `json:"sigma_beta"`
+	// Corners holds each corner's measurement in sweep order (TT first).
+	Corners []CornerResult `json:"corners"`
+	// Worst names the worst-case corner — minimal spec margin, or
+	// largest deviation from TT when the spec is one-sided on neither
+	// end; WorstV is its value [V].
+	Worst  string  `json:"worst"`
+	WorstV float64 `json:"worst_v"`
+	// Pass reports whether every corner met the spec window.
+	Pass bool `json:"pass"`
+}
+
+// CornerResult is one corner's measurement and verdict.
+type CornerResult struct {
+	// Name is the corner (TT/SS/FF/SF/FS); V the measured node voltage.
+	Name string  `json:"name"`
+	V    float64 `json:"v"`
+	// Pass is the spec verdict (a NaN measurement fails).
+	Pass bool `json:"pass"`
+	// Margin is the distance to the nearest spec edge [V] (negative when
+	// out of spec); absent when the measurement was NaN.
+	Margin *float64 `json:"margin,omitempty"`
+}
+
+// YieldSection is the Monte-Carlo parametric yield at the worst corner
+// (paper Eq. 1: Pelgrom mismatch sets σ(ΔVT) = A_VT/√(WL); yield is the
+// fraction of dies inside the spec window, with a Wilson 95 % interval).
+type YieldSection struct {
+	// Corner names the global corner the campaign was pinned to.
+	Corner string `json:"corner"`
+	// Trials is the requested die count; Completed how many reached a
+	// verdict; PassCount how many met spec.
+	Trials    int `json:"trials"`
+	Completed int `json:"completed"`
+	PassCount int `json:"pass_count"`
+	// YieldPct is the point yield in percent, with the Wilson 95 %
+	// interval [YieldLoPct, YieldHiPct]. NaN dies count as rejects.
+	YieldPct   float64 `json:"yield_pct"`
+	YieldLoPct float64 `json:"yield_lo_pct"`
+	YieldHiPct float64 `json:"yield_hi_pct"`
+	// Mean and StdDev summarise the metric distribution [V]; absent when
+	// no die produced a finite value.
+	Mean   *float64 `json:"mean,omitempty"`
+	StdDev *float64 `json:"std_dev,omitempty"`
+	// SigmaMargin is the distance from the mean to the nearest spec edge
+	// in units of σ — the design-centering figure of merit; absent when
+	// σ is zero or undefined.
+	SigmaMargin *float64 `json:"sigma_margin,omitempty"`
+}
+
+// AgingSection is the mission-aging roll-up (paper §3.1–§3.3: NBTI/HCI
+// threshold drift and mobility degradation over the mission).
+type AgingSection struct {
+	// Years is the mission length; TempK the junction temperature.
+	Years float64 `json:"years"`
+	TempK float64 `json:"temp_k"`
+	// Converged reports whether the circuit still met its operating
+	// point at end of life.
+	Converged bool `json:"converged"`
+	// WorstDevice is the device with the largest |ΔVT| at end of life;
+	// WorstDeltaVT its shift [V]. Absent when the deck has no MOSFETs.
+	WorstDevice  string   `json:"worst_device,omitempty"`
+	WorstDeltaVT *float64 `json:"worst_delta_vt,omitempty"`
+	// BDModes counts devices per oxide-breakdown mode at end of life,
+	// sorted by mode name.
+	BDModes []BDModeCount `json:"bd_modes,omitempty"`
+}
+
+// BDModeCount is one oxide-breakdown mode's device count.
+type BDModeCount struct {
+	Mode  string `json:"mode"`
+	Count int    `json:"count"`
+}
+
+// ReliabilitySection is the wear-out failure-rate roll-up: FIT and MTBF
+// composed from electromigration (Black's equation, paper Eq. 4) and
+// TDDB (Weibull scale η, paper Eq. 2–3), treating each channel as an
+// exponential hazard at its characteristic life and summing rates —
+// the standard series-system FIT budget of a signoff flow (paper §5).
+type ReliabilitySection struct {
+	// TargetFIT is the budget [failures / 10⁹ device-hours] the verdict
+	// compares against.
+	TargetFIT float64 `json:"target_fit"`
+	// FIT is the composite failure rate [failures / 10⁹ device-hours];
+	// absent when every channel is unbounded (no finite wear-out risk).
+	FIT *float64 `json:"fit,omitempty"`
+	// MTBFHours is 1/λ for the composite rate; absent with FIT.
+	MTBFHours *float64 `json:"mtbf_hours,omitempty"`
+	// Pass reports FIT ≤ TargetFIT (vacuously true when FIT is absent)
+	// AND no EM current-density violation.
+	Pass bool `json:"pass"`
+	// EM and TDDB break the composite down by channel.
+	EM   *EMSection   `json:"em,omitempty"`
+	TDDB *TDDBSection `json:"tddb,omitempty"`
+}
+
+// EMSection is the electromigration channel (paper Eq. 4, Black's
+// equation MTTF = C·J⁻ⁿ·exp(Ea/kT), with Blech-length immunity).
+type EMSection struct {
+	// Checked counts wires assessed; Immune those below the Blech
+	// product (infinite EM life).
+	Checked int `json:"checked"`
+	Immune  int `json:"immune"`
+	// Violations lists wires whose EM life misses the mission target.
+	Violations []EMViolation `json:"violations,omitempty"`
+	// WorstWire is the mortal wire with the shortest life; WorstMTTFYears
+	// its Black MTTF [years]. Absent when every wire is immune.
+	WorstWire      string   `json:"worst_wire,omitempty"`
+	WorstMTTFYears *float64 `json:"worst_mttf_years,omitempty"`
+	// FIT is the channel's series failure rate; absent when unbounded.
+	FIT *float64 `json:"fit,omitempty"`
+}
+
+// EMViolation is one wire that misses the EM lifetime target.
+type EMViolation struct {
+	// Wire is the offending wire; MTTFYears its Black MTTF [years].
+	Wire      string  `json:"wire"`
+	MTTFYears float64 `json:"mttf_years"`
+	// JDensityAm2 is the current density [A/m²]; SuggestedWidthM the
+	// minimal width [m] that would meet the target.
+	JDensityAm2     float64 `json:"j_density_a_m2"`
+	SuggestedWidthM float64 `json:"suggested_width_m"`
+}
+
+// TDDBSection is the oxide-breakdown channel (paper Eq. 2–3: Weibull-
+// distributed time to breakdown with thickness-dependent slope β).
+type TDDBSection struct {
+	// Devices counts MOSFETs assessed; Beta is the Weibull slope at the
+	// technology's oxide thickness.
+	Devices int     `json:"devices"`
+	Beta    float64 `json:"beta"`
+	// WorstDevice is the device with the shortest characteristic life η;
+	// WorstEtaYears that life [years]. Absent when no device stresses
+	// its oxide.
+	WorstDevice   string   `json:"worst_device,omitempty"`
+	WorstEtaYears *float64 `json:"worst_eta_years,omitempty"`
+	// FIT is the channel's series failure rate; absent when unbounded.
+	FIT *float64 `json:"fit,omitempty"`
+}
+
+// ParetoEntry is one failure class's share of the Monte-Carlo trials.
+type ParetoEntry struct {
+	// Kind is a variation.FailureKind name, "nan_reject" (die measured
+	// NaN) or "out_of_spec" (finite value outside the window).
+	Kind string `json:"kind"`
+	// Count is the number of trials; Percent its share of completed
+	// trials.
+	Count   int     `json:"count"`
+	Percent float64 `json:"percent"`
+}
+
+// SubJob is one campaign DAG node's provenance record.
+type SubJob struct {
+	// Name is the DAG node; Analysis the jobspec kind it ran ("" for
+	// inline computations).
+	Name     string `json:"name"`
+	Analysis string `json:"analysis,omitempty"`
+	// Hash is the sub-spec's canonical hash — the result-cache key it
+	// shares with an identical standalone submission.
+	Hash string `json:"hash,omitempty"`
+	// Cached marks a sub-result answered from the spec-keyed result
+	// cache; Resumed one restored from a campaign checkpoint; Skipped
+	// one that never ran because a dependency failed.
+	Cached  bool `json:"cached,omitempty"`
+	Resumed bool `json:"resumed,omitempty"`
+	Skipped bool `json:"skipped,omitempty"`
+	// Error is the node's failure message, when it failed.
+	Error string `json:"error,omitempty"`
+}
+
+// Ptr wraps a finite float for an optional field; NaN/±Inf become
+// absent, keeping the schema's no-NaN/Inf contract.
+func Ptr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// Text renders the report as the CLI's human-readable compliance
+// summary, using the same table machinery as the figure renderers.
+func (r *Report) Text() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	title := fmt.Sprintf("Signoff report v%d — %s", r.SchemaVersion, verdict)
+	if r.Circuit != "" {
+		title += " — " + r.Circuit
+	}
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "node %s  spec [%s, %s]", r.Node, optV(r.SpecLo, "-inf"), optV(r.SpecHi, "+inf"))
+	if r.Tech != "" {
+		fmt.Fprintf(&b, "  tech %s", r.Tech)
+	}
+	b.WriteString("\n")
+
+	if c := r.Corners; c != nil {
+		t := report.NewTable(fmt.Sprintf("corners (worst %s)", c.Worst), "corner", "V", "margin", "verdict")
+		for _, cr := range c.Corners {
+			t.AddRow(cr.Name, report.SI(cr.V, "V"), optV(cr.Margin, "-"), passStr(cr.Pass))
+		}
+		b.WriteString(t.String())
+	}
+	if y := r.Yield; y != nil {
+		fmt.Fprintf(&b, "yield @ %s: %.1f%% [%.1f, %.1f]  (%d/%d pass",
+			y.Corner, y.YieldPct, y.YieldLoPct, y.YieldHiPct, y.PassCount, y.Completed)
+		if y.SigmaMargin != nil {
+			fmt.Fprintf(&b, ", σ-margin %.2f", *y.SigmaMargin)
+		}
+		b.WriteString(")\n")
+	}
+	if a := r.Aging; a != nil {
+		fmt.Fprintf(&b, "aging %gy @ %gK: converged=%v", a.Years, a.TempK, a.Converged)
+		if a.WorstDevice != "" && a.WorstDeltaVT != nil {
+			fmt.Fprintf(&b, "  worst ΔVT %s (%s)", report.SI(*a.WorstDeltaVT, "V"), a.WorstDevice)
+		}
+		b.WriteString("\n")
+	}
+	if rel := r.Reliability; rel != nil {
+		if rel.FIT != nil {
+			fmt.Fprintf(&b, "reliability: %.3g FIT (target %g), MTBF %s  %s\n",
+				*rel.FIT, rel.TargetFIT, report.Years(*rel.MTBFHours*3600), passStr(rel.Pass))
+		} else {
+			fmt.Fprintf(&b, "reliability: no finite wear-out channel (target %g FIT)  %s\n",
+				rel.TargetFIT, passStr(rel.Pass))
+		}
+		if rel.EM != nil {
+			fmt.Fprintf(&b, "  em: %d wires, %d immune, %d violations\n",
+				rel.EM.Checked, rel.EM.Immune, len(rel.EM.Violations))
+		}
+		if rel.TDDB != nil && rel.TDDB.WorstDevice != "" && rel.TDDB.WorstEtaYears != nil {
+			fmt.Fprintf(&b, "  tddb: β %.2f, worst η %.3g y (%s)\n",
+				rel.TDDB.Beta, *rel.TDDB.WorstEtaYears, rel.TDDB.WorstDevice)
+		}
+	}
+	if len(r.Pareto) > 0 {
+		t := report.NewTable("failure pareto", "kind", "count", "%")
+		for _, p := range r.Pareto {
+			t.AddRow(p.Kind, fmt.Sprintf("%d", p.Count), fmt.Sprintf("%.1f", p.Percent))
+		}
+		b.WriteString(t.String())
+	}
+	if len(r.Provenance) > 0 {
+		t := report.NewTable("provenance", "sub-job", "analysis", "hash", "source")
+		for _, s := range r.Provenance {
+			src := "executed"
+			switch {
+			case s.Cached:
+				src = "cache"
+			case s.Resumed:
+				src = "checkpoint"
+			case s.Skipped:
+				src = "skipped"
+			case s.Error != "":
+				src = "failed"
+			}
+			h := s.Hash
+			if len(h) > 12 {
+				h = h[:12]
+			}
+			t.AddRow(s.Name, s.Analysis, h, src)
+		}
+		b.WriteString(t.String())
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "violation: %s\n", v)
+	}
+	return b.String()
+}
+
+func passStr(ok bool) string {
+	if ok {
+		return "pass"
+	}
+	return "FAIL"
+}
+
+func optV(v *float64, unset string) string {
+	if v == nil {
+		return unset
+	}
+	return report.SI(*v, "V")
+}

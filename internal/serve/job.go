@@ -9,7 +9,6 @@ import (
 
 	"repro/internal/jobspec"
 	"repro/internal/store"
-	"repro/internal/variation"
 )
 
 // State is a job's lifecycle state. The machine is strictly forward:
@@ -105,12 +104,21 @@ func newCachedJob(id string, spec *jobspec.Spec, hash string, result json.RawMes
 
 // resumable reports whether a recovered job can be re-run to a verdict
 // instead of being finalized. Monte-Carlo campaigns checkpoint whole
-// grid chunks, so an interrupted one re-enqueues with its journaled
-// chunks and re-runs at most the chunk that was in flight; the other
-// analyses have no checkpoint grid and keep the fail-with-cause path.
+// grid chunks and signoff campaigns checkpoint completed DAG nodes, so
+// an interrupted one re-enqueues with its journaled checkpoints and
+// re-runs at most the unit that was in flight; the other analyses have
+// no checkpoint grid and keep the fail-with-cause path.
 func resumable(r store.RecoveredJob) bool {
-	return r.State == store.StateInterrupted &&
-		r.Spec != nil && r.Spec.Analysis == jobspec.KindMC && r.Spec.MC != nil
+	if r.State != store.StateInterrupted || r.Spec == nil {
+		return false
+	}
+	switch r.Spec.Analysis {
+	case jobspec.KindMC:
+		return r.Spec.MC != nil
+	case jobspec.KindSignoff:
+		return r.Spec.Signoff != nil
+	}
+	return false
 }
 
 // restoredJob rebuilds a Job from its journaled lifecycle after a
@@ -141,7 +149,7 @@ func restoredJob(r store.RecoveredJob, now time.Time) *Job {
 			// The event log records how much of the campaign survived the
 			// crash; the worker's execution will resume from there.
 			j.appendLocked(Event{Type: "progress", Stage: "resume",
-				Done: len(r.Checkpoints), Total: variation.NumChunks(r.Spec.MC.Trials)})
+				Done: len(r.Checkpoints), Total: r.Spec.ResumeUnits()})
 			break
 		}
 		j.state = StateFailed

@@ -24,6 +24,7 @@ import (
 //	serve_checkpoints_total           count  campaign chunk checkpoints journaled by workers
 //	serve_shards_dispatched_total     count  campaign shards answered by peer servers
 //	serve_shard_fallbacks_total       count  peer shard dispatches that fell back to local execution
+//	serve_subjobs_cached_total        count  signoff sub-jobs answered from the result cache
 //	serve_store_errors_total          count  store writes that failed (job state stays in memory)
 //	serve_queue_depth                 gauge  jobs waiting in the bounded queue
 //	serve_jobs_inflight               gauge  jobs currently executing on the worker pool
@@ -41,6 +42,7 @@ type metrics struct {
 	checkpoints      *obs.Counter
 	shardsDispatched *obs.Counter
 	shardFallbacks   *obs.Counter
+	subjobsCached    *obs.Counter
 	storeErrors      *obs.Counter
 	depth            *obs.Gauge
 	inflight         *obs.Gauge
@@ -61,6 +63,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		checkpoints:      reg.Counter("serve_checkpoints_total", "1", "campaign chunk checkpoints journaled by workers"),
 		shardsDispatched: reg.Counter("serve_shards_dispatched_total", "1", "campaign shards answered by peer servers"),
 		shardFallbacks:   reg.Counter("serve_shard_fallbacks_total", "1", "peer shard dispatches that fell back to local execution"),
+		subjobsCached:    reg.Counter("serve_subjobs_cached_total", "1", "signoff sub-jobs answered from the result cache"),
 		storeErrors:      reg.Counter("serve_store_errors_total", "1", "store writes that failed"),
 		depth:            reg.Gauge("serve_queue_depth", "1", "jobs waiting in the bounded queue"),
 		inflight:         reg.Gauge("serve_jobs_inflight", "1", "jobs currently executing"),

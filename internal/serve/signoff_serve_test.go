@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobspec"
+	"repro/internal/obs"
+)
+
+func fptr(v float64) *float64 { return &v }
+
+// signoffServeSpec is the signoff campaign the serve-layer suite drives:
+// the shared inverter against its full output range, small enough that a
+// whole campaign runs in milliseconds.
+func signoffServeSpec() *jobspec.Spec {
+	return &jobspec.Spec{
+		Analysis: jobspec.KindSignoff,
+		Netlist:  inverterDeck,
+		Seed:     3,
+		Signoff: &jobspec.SignoffParams{
+			Node: "out", Lo: fptr(0), Hi: fptr(1.0), Trials: 48,
+		},
+	}
+}
+
+// TestSignoffHTTPMatchesCLIAndCacheResubmission pins the determinism
+// contract of docs/REPORT_SCHEMA.md end to end: the report a spec
+// produces through the HTTP job service is byte-identical to the one the
+// in-process (CLI) path produces, and resubmitting the same spec is
+// answered from the spec-keyed result cache without re-running anything.
+func TestSignoffHTTPMatchesCLIAndCacheResubmission(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := mustStore(t, t.TempDir(), reg)
+	t.Cleanup(func() { st.Close() })
+	_, ts := newTestServer(t, Config{QueueDepth: 4, Workers: 2, Store: st, Registry: reg})
+
+	_, v := submit(t, ts, signoffServeSpec())
+	fin := waitTerminal(t, ts, v.ID)
+	if fin.State != StateDone {
+		t.Fatalf("signoff job = %s (error %q), want done", fin.State, fin.Error)
+	}
+	var httpRes jobspec.Result
+	if err := json.Unmarshal(fin.Result, &httpRes); err != nil {
+		t.Fatal(err)
+	}
+	if httpRes.Signoff == nil {
+		t.Fatal("no signoff report over HTTP")
+	}
+
+	cliSpec := signoffServeSpec()
+	cliSpec.ApplyDefaults()
+	cliRes, err := jobspec.Execute(context.Background(), cliSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpJSON, err := json.Marshal(httpRes.Signoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliJSON, err := json.Marshal(cliRes.Signoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(httpJSON, cliJSON) {
+		t.Errorf("HTTP and CLI reports differ:\nhttp: %s\ncli:  %s", httpJSON, cliJSON)
+	}
+
+	// Resubmission: born terminal from the cache — answered 200 with the
+	// snapshot inline, no queue slot — and byte-identical result.
+	body, _ := json.Marshal(signoffServeSpec())
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmission status %d, want 200 (cache hit)", resp.StatusCode)
+	}
+	var fin2 View
+	if err := json.NewDecoder(resp.Body).Decode(&fin2); err != nil {
+		t.Fatal(err)
+	}
+	if !fin2.Cached {
+		t.Error("resubmitted signoff spec was re-executed instead of served from the cache")
+	}
+	if !bytes.Equal(fin.Result, fin2.Result) {
+		t.Error("cached resubmission returned different result bytes")
+	}
+}
+
+// TestSignoffSubJobFailureOverServe knocks over the Monte-Carlo sub-job
+// under the server's executor: the campaign job must still land in done
+// with a structured partial report — corners intact, yield absent, the
+// failed node named — instead of erroring the whole job away.
+func TestSignoffSubJobFailureOverServe(t *testing.T) {
+	exec := func(ctx context.Context, sp *jobspec.Spec, opts jobspec.Options) (*jobspec.Result, error) {
+		if sp.Analysis == jobspec.KindMC {
+			return nil, context.DeadlineExceeded
+		}
+		return jobspec.ExecuteOpts(ctx, sp, opts)
+	}
+	_, ts := newTestServer(t, Config{QueueDepth: 2, Workers: 1, Execute: exec})
+
+	_, v := submit(t, ts, signoffServeSpec())
+	fin := waitTerminal(t, ts, v.ID)
+	if fin.State != StateDone {
+		t.Fatalf("campaign with a failed sub-job = %s (error %q), want done with a partial report", fin.State, fin.Error)
+	}
+	var res jobspec.Result
+	if err := json.Unmarshal(fin.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Error("result not marked partial")
+	}
+	r := res.Signoff
+	if r == nil {
+		t.Fatal("no report in the partial result")
+	}
+	if r.Pass || r.Yield != nil || r.Corners == nil {
+		t.Errorf("partial report wrong shape: pass=%v yield=%v corners=%v", r.Pass, r.Yield != nil, r.Corners != nil)
+	}
+	var named bool
+	for _, sj := range r.Provenance {
+		if sj.Name == "mc" && sj.Error != "" {
+			named = true
+		}
+	}
+	if !named {
+		t.Errorf("provenance does not record the mc failure: %+v", r.Provenance)
+	}
+}
+
+// TestSignoffSubJobCacheHitProvenance seeds the result cache with a
+// standalone corner sweep whose spec hashes identically to the signoff
+// campaign's corners sub-spec, then runs the campaign: the sub-job must
+// be answered from the cache and say so in the report's provenance.
+func TestSignoffSubJobCacheHitProvenance(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := mustStore(t, t.TempDir(), reg)
+	t.Cleanup(func() { st.Close() })
+	_, ts := newTestServer(t, Config{QueueDepth: 4, Workers: 2, Store: st, Registry: reg})
+
+	// The standalone twin of the campaign's corners sub-job: same
+	// netlist text, seed and parameters (after defaults), so the same
+	// canonical hash and the same cache entry.
+	parent := signoffServeSpec()
+	parent.ApplyDefaults()
+	corners := &jobspec.Spec{
+		Analysis: jobspec.KindCorners,
+		Netlist:  parent.Netlist,
+		Seed:     parent.Seed,
+		Corners: &jobspec.CornersParams{
+			Node:    parent.Signoff.Node,
+			SigmaVT: parent.Signoff.SigmaVT, SigmaBeta: parent.Signoff.SigmaBeta,
+			Lo: parent.Signoff.Lo, Hi: parent.Signoff.Hi,
+		},
+	}
+	_, vc := submit(t, ts, corners)
+	if fin := waitTerminal(t, ts, vc.ID); fin.State != StateDone {
+		t.Fatalf("seeding corners job = %s (error %q)", fin.State, fin.Error)
+	}
+
+	_, v := submit(t, ts, signoffServeSpec())
+	fin := waitTerminal(t, ts, v.ID)
+	if fin.State != StateDone {
+		t.Fatalf("signoff job = %s (error %q)", fin.State, fin.Error)
+	}
+	var res jobspec.Result
+	if err := json.Unmarshal(fin.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	var hit bool
+	for _, sj := range res.Signoff.Provenance {
+		if sj.Name == "corners" {
+			hit = sj.Cached
+		}
+	}
+	if !hit {
+		t.Fatalf("corners sub-job not served from the cache: %+v", res.Signoff.Provenance)
+	}
+	if n, _ := reg.Snapshot().Counter("serve_subjobs_cached_total"); n < 1 {
+		t.Errorf("serve_subjobs_cached_total = %d, want >= 1", n)
+	}
+}
+
+// TestKillAndResumeSignoffCampaign is the composite-campaign twin of
+// TestKillAndResumeCampaign: the server is "SIGKILLed" right after the
+// first DAG node's checkpoint hits the journal, and a fresh server over
+// that disk image must finish the campaign — restoring the completed
+// node from its checkpoint instead of recomputing it, and saying so in
+// the report's provenance.
+func TestKillAndResumeSignoffCampaign(t *testing.T) {
+	dirA := t.TempDir()
+	regA := obs.NewRegistry()
+	stA := mustStore(t, dirA, regA)
+
+	frozen := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	var frozenNode string
+	exec := func(ctx context.Context, sp *jobspec.Spec, opts jobspec.Options) (*jobspec.Result, error) {
+		inner := opts.OnCheckpoint
+		opts.OnCheckpoint = func(cp jobspec.Checkpoint) {
+			if inner != nil {
+				inner(cp) // journal + fsync first: the kill lands after the write
+			}
+			if cp.Stage == "subjob" {
+				once.Do(func() {
+					var named struct {
+						Name string `json:"name"`
+					}
+					_ = json.Unmarshal(cp.Data, &named)
+					frozenNode = named.Name
+					close(frozen)
+				})
+				<-release
+			}
+		}
+		return jobspec.ExecuteOpts(ctx, sp, opts)
+	}
+	sA := NewServer(Config{QueueDepth: 2, Workers: 1, Store: stA, Registry: regA, Execute: exec})
+	tsA := httptest.NewServer(sA)
+	t.Cleanup(func() {
+		close(release)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = sA.Shutdown(ctx)
+		tsA.Close()
+		stA.Close()
+	})
+
+	_, v := submit(t, tsA, signoffServeSpec())
+	select {
+	case <-frozen:
+	case <-time.After(30 * time.Second):
+		t.Fatal("campaign never journaled a sub-job checkpoint")
+	}
+
+	dirB := t.TempDir()
+	copyTree(t, dirA, dirB)
+
+	// The restarted server counts what it executes: the checkpointed
+	// node must never reach the engine again.
+	kindOfNode := map[string]jobspec.Kind{
+		"corners": jobspec.KindCorners, "mc": jobspec.KindMC, "age": jobspec.KindAge,
+	}
+	var mu sync.Mutex
+	reran := map[jobspec.Kind]int{}
+	execB := func(ctx context.Context, sp *jobspec.Spec, opts jobspec.Options) (*jobspec.Result, error) {
+		mu.Lock()
+		reran[sp.Analysis]++
+		mu.Unlock()
+		return jobspec.ExecuteOpts(ctx, sp, opts)
+	}
+	regB := obs.NewRegistry()
+	stB := mustStore(t, dirB, regB)
+	t.Cleanup(func() { stB.Close() })
+	sB := NewServer(Config{QueueDepth: 2, Workers: 1, Store: stB, Registry: regB, Execute: execB})
+	tsB := httptest.NewServer(sB)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = sB.Shutdown(ctx)
+		tsB.Close()
+	})
+
+	if n, _ := regB.Snapshot().Counter("serve_jobs_resumed_total"); n != 1 {
+		t.Errorf("serve_jobs_resumed_total = %d, want 1", n)
+	}
+	fin := waitTerminal(t, tsB, v.ID)
+	if fin.State != StateDone {
+		t.Fatalf("resumed campaign = %s (error %q), want done", fin.State, fin.Error)
+	}
+	var res jobspec.Result
+	if err := json.Unmarshal(fin.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("resumed campaign still partial: %s", res.Warning)
+	}
+	var resumed bool
+	for _, sj := range res.Signoff.Provenance {
+		if sj.Name == frozenNode {
+			resumed = sj.Resumed
+		}
+		if sj.Error != "" || sj.Skipped {
+			t.Errorf("node %s not clean after resume: %+v", sj.Name, sj)
+		}
+	}
+	if !resumed {
+		t.Fatalf("checkpointed node %q not marked resumed: %+v", frozenNode, res.Signoff.Provenance)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if k, ok := kindOfNode[frozenNode]; ok && reran[k] != 0 {
+		t.Errorf("checkpointed node %q re-executed %d times after resume", frozenNode, reran[k])
+	}
+	// The report must still read as one coherent campaign.
+	if res.Signoff.Yield == nil || res.Signoff.Yield.Corner != res.Signoff.Corners.Worst {
+		t.Error("resumed report lost the corner-pinned yield linkage")
+	}
+	if !strings.HasPrefix(v.ID, "job-") {
+		t.Fatalf("unexpected job id %q", v.ID)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime/debug"
 	"time"
@@ -70,6 +71,7 @@ func (s *Server) runJob(j *Job) {
 	if len(s.cfg.Peers) > 0 {
 		opts.RunShard = s.runShard
 	}
+	opts.RunSub = s.runSubJob
 	var (
 		res *jobspec.Result
 		err error
@@ -89,4 +91,26 @@ func (s *Server) runJob(j *Job) {
 	s.observeJobDuration(time.Since(started))
 	s.persistTerminal(j)
 	s.enforceRetention(time.Now())
+}
+
+// runSubJob is the jobspec.Options.RunSub hook: one sub-job of a
+// composite signoff campaign, answered from the spec-keyed result cache
+// when an identical standalone submission already computed it, and
+// executed in the parent job's worker slot otherwise. Running inline —
+// not through the bounded queue — is deliberate: a campaign that
+// enqueued its own sub-jobs while occupying a worker could deadlock a
+// fully-loaded pool on itself.
+func (s *Server) runSubJob(ctx context.Context, name string, sub *jobspec.Spec) (*jobspec.Result, bool, error) {
+	if st := s.cfg.Store; st != nil && !sub.NoCache {
+		if _, raw, ok := st.CachedResult(sub.CanonicalHash()); ok {
+			res := new(jobspec.Result)
+			if err := json.Unmarshal(raw, res); err == nil {
+				s.met.subjobsCached.Inc()
+				return res, true, nil
+			}
+			// An undecodable cache snapshot falls through to execution.
+		}
+	}
+	res, err := s.cfg.Execute(ctx, sub, jobspec.Options{})
+	return res, false, err
 }

@@ -1,0 +1,83 @@
+package variation
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// TestMCStatsYieldCountsNaNRejects pins the NaN accounting contract: a
+// die whose metric is NaN ran to a verdict — a measured reject — so it
+// belongs in the yield denominator (but never the numerator), exactly
+// like an out-of-spec die and unlike an errored trial (missing data).
+// Before the fix the denominator was Moments.Count alone, so NaN dies
+// silently inflated yield.
+func TestMCStatsYieldCountsNaNRejects(t *testing.T) {
+	var st MCStats
+	st.Pass = 3
+	st.NaNs = 2
+	st.Moments.Count = 6 // finite measurements (3 in spec, 3 out)
+	y := st.Yield()
+	if y.Pass != 3 || y.Total != 8 {
+		t.Fatalf("Yield = %d/%d, want 3/8 (NaN dies in the denominator)", y.Pass, y.Total)
+	}
+}
+
+// TestCampaignYieldWithNaNDies drives the same contract through a real
+// campaign: half the dies measure NaN, half measure in-spec, and the
+// merged yield must be 50 % of all dies, not 100 % of the finite ones.
+func TestCampaignYieldWithNaNDies(t *testing.T) {
+	const trials = 48
+	camp := &Campaign{
+		Trials: trials,
+		Seed:   7,
+		Spec:   &Spec{Name: "m", Lo: 0.5, Hi: 1.5},
+		From:   0,
+		To:     trials,
+		Trial: func(_ *mathx.RNG, i int) (float64, error) {
+			if i%2 == 1 {
+				return math.NaN(), nil
+			}
+			return 1.0, nil
+		},
+	}
+	r, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NaNs != trials/2 {
+		t.Fatalf("NaNs = %d, want %d", r.NaNs, trials/2)
+	}
+	y := r.Stats.Yield()
+	if y.Pass != trials/2 || y.Total != trials {
+		t.Errorf("campaign yield = %d/%d, want %d/%d", y.Pass, y.Total, trials/2, trials)
+	}
+	// The dispersion summary stays clean: NaN dies are excluded from the
+	// moments, so mean/σ describe the finite population.
+	if got := r.Stats.Mean(); math.IsNaN(got) || got != 1.0 {
+		t.Errorf("mean = %v, want 1.0 over the finite dies only", got)
+	}
+	if int(r.Stats.Moments.Count) != trials/2 {
+		t.Errorf("moment count = %d, want the %d finite dies", r.Stats.Moments.Count, trials/2)
+	}
+}
+
+// TestCenteringRejectsDuplicateGroupMember guards the matched-group move
+// syntax: one device driven by two axes would make moves order-dependent.
+func TestCenteringRejectsDuplicateGroupMember(t *testing.T) {
+	c := &Centering{
+		Devices:  []string{"M1+M2", "M2"},
+		Step:     1.25,
+		MaxScale: 4,
+		MaxIters: 1,
+		Evaluate: func(context.Context, map[string]float64) (*MCResult, error) {
+			t.Fatal("evaluate must not run for a malformed group set")
+			return nil, nil
+		},
+	}
+	if _, err := c.Run(context.Background()); err == nil {
+		t.Fatal("duplicate group member accepted")
+	}
+}

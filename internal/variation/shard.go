@@ -165,10 +165,13 @@ func (s *MCStats) Quantile(p float64) float64 {
 }
 
 // Yield returns the Wilson-interval yield of the pass count over the
-// successful values — bit-identical to EstimateYield over the same trials
-// because both count passes with Spec.Pass and divide the same integers.
+// measured dies. A NaN trial is a measured reject — the die ran but its
+// metric was undefined — so it counts in the denominator, consistent with
+// the FailureKind accounting and the MCResult contract ("a NaN die is a
+// measured reject, an errored trial is missing data"). Errored trials are
+// missing data and stay out of both numerator and denominator.
 func (s *MCStats) Yield() YieldEstimate {
-	return YieldFromCounts(s.Pass, int(s.Moments.Count))
+	return YieldFromCounts(s.Pass, int(s.Moments.Count)+s.NaNs)
 }
 
 // ChunkStat is one completed grid chunk's summary — the unit of
