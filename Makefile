@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet doccheck docs build test race race-fault race-serve race-store race-batch race-shard race-campaign bench-smoke bench bench-solver bench-sparse bench-sparse-smoke
+.PHONY: ci vet doccheck docs build test race race-fault race-serve race-store race-batch race-shard race-campaign race-tenant loadgen-smoke bench-smoke bench bench-solver bench-sparse bench-sparse-smoke
 
-ci: vet doccheck docs build race race-fault race-serve race-store race-batch race-shard race-campaign bench-smoke
+ci: vet doccheck docs build race race-fault race-serve race-store race-batch race-shard race-campaign race-tenant loadgen-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,12 +17,13 @@ vet:
 doccheck:
 	$(GO) run ./cmd/doccheck .
 
-# The documentation gate for the signoff layer: exported campaign/report
-# types must carry doc comments, docs/REPORT_SCHEMA.md must match the
-# report structs' json tags in both directions, and every runnable godoc
-# example must still build and pass.
+# The documentation gates: exported campaign/report types must carry doc
+# comments, docs/REPORT_SCHEMA.md must match the report structs' json
+# tags in both directions, docs/API.md must match the serve package's
+# mux routes, error-code taxonomy and error envelope in both directions,
+# and every runnable godoc example must still build and pass.
 docs:
-	$(GO) run ./cmd/doccheck -exported internal/campaign,internal/report,internal/report/signoff -schema docs/REPORT_SCHEMA.md=internal/report/signoff .
+	$(GO) run ./cmd/doccheck -exported internal/campaign,internal/report,internal/report/signoff -schema docs/REPORT_SCHEMA.md=internal/report/signoff -api docs/API.md=internal/serve .
 	$(GO) test -run 'Example' ./...
 
 build:
@@ -74,6 +75,21 @@ race-shard:
 race-campaign:
 	$(GO) test -race -count=2 ./internal/campaign/
 	$(GO) test -race -count=1 -run 'Campaign|Signoff|Centering|Corner|DAG' ./internal/jobspec/ ./internal/serve/ ./internal/variation/ ./internal/report/...
+
+# The multi-tenant API paths under the race detector: key auth, tenant
+# quota and trial-rate 429s with tenant-derived Retry-After, weighted
+# fair-share convergence, batch dedup/cache admission atomicity, list
+# pagination, readiness, journaled fair-share accounting across restart,
+# priority classes and the /events fan-out (1k subscribers, slow-reader
+# disconnect, bounded batching).
+race-tenant:
+	$(GO) test -race -count=1 -run 'TestTenant|TestFairShare|TestTrialRate|TestBatch|TestList|TestReadyz|TestRestartFairShare|TestInteractive|TestEvent' ./internal/serve/
+
+# Harness-rot check for cmd/loadgen: one short open-loop stage against
+# an in-process server, asserting the BENCH_9 driver still runs end to
+# end (the full run behind BENCH_9.json uses the defaults).
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -self -stages 2 -stage-duration 3s -trials 5000 -out /dev/null
 
 # One iteration of every benchmark: catches harness rot without the cost
 # of a full measurement run.

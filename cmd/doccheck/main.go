@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	doccheck [-exported dir,dir...] [-schema md=pkgdir] [dir ...]
+//	doccheck [-exported dir,dir...] [-schema md=pkgdir] [-api md=pkgdir] [dir ...]
 //
 // With no arguments it walks the current directory. For every directory
 // containing non-test Go files it requires at least one file to carry a
@@ -27,6 +27,15 @@
 // rows, and every backticked first-column name in a table row must be a
 // real tag — so docs/REPORT_SCHEMA.md can never drift from the Go structs
 // that define the wire format.
+//
+// -api takes a markdownfile=packagedir pair and cross-checks the HTTP API
+// contract document against the serving package: every route pattern
+// registered on the mux (a "METHOD /path" string literal) must have a
+// matching `### `METHOD /path“ heading and vice versa, the document's
+// "Error codes" table must list exactly the package's ErrCode constant
+// values, and its "Error envelope" table must list exactly the ErrorBody
+// struct's json tags — so docs/API.md can never drift from the routes,
+// taxonomy and envelope the server actually speaks.
 package main
 
 import (
@@ -39,13 +48,16 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 func main() {
 	exported := flag.String("exported", "", "comma-separated package dirs whose exported types must carry doc comments")
 	schema := flag.String("schema", "", "markdownfile=packagedir pair to cross-check field docs against json struct tags")
+	api := flag.String("api", "", "markdownfile=packagedir pair to cross-check an API contract doc against mux routes, error codes and the error envelope")
 	flag.Parse()
 	roots := flag.Args()
 	if len(roots) == 0 {
@@ -75,6 +87,19 @@ func main() {
 			os.Exit(2)
 		}
 		violations, err := checkSchema(md, pkg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		bad = append(bad, violations...)
+	}
+	if *api != "" {
+		md, pkg, ok := strings.Cut(*api, "=")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "doccheck: -api wants markdownfile=packagedir")
+			os.Exit(2)
+		}
+		violations, err := checkAPI(md, pkg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
 			os.Exit(2)
@@ -239,6 +264,144 @@ func checkSchema(mdPath, pkgDir string) ([]string, error) {
 			bad = append(bad, fmt.Sprintf("%s: documented field `%s` is not a json tag of any exported struct in %s", mdPath, name, pkgDir))
 		}
 	}
+	return bad, nil
+}
+
+// routePattern is the shape of a Go 1.22 ServeMux method-qualified route
+// pattern — the same shape both as a string literal in the serving
+// package and inside a backticked `### ` heading of the contract doc.
+var routePattern = regexp.MustCompile(`^(GET|HEAD|POST|PUT|PATCH|DELETE) /\S*$`)
+
+// checkAPI cross-checks an API contract document against the serving
+// package, in both directions:
+//
+//   - every "METHOD /path" string literal (the mux route patterns) must
+//     have a `### `METHOD /path“ heading, and every such heading must
+//     name a registered route;
+//   - the document section headed "Error codes" must table exactly the
+//     string values of the package's ErrCode constants;
+//   - the section headed "Error envelope" must table exactly the json
+//     tags of the package's ErrorBody struct.
+func checkAPI(mdPath, pkgDir string) ([]string, error) {
+	routes := map[string]bool{}
+	codes := map[string]bool{}
+	envelope := map[string]bool{}
+	err := eachPackageFile(pkgDir, func(_ string, f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			if v, err := strconv.Unquote(lit.Value); err == nil && routePattern.MatchString(v) {
+				routes[v] = true
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.CONST:
+				// The declared type carries over within a grouped const block
+				// until another spec states its own.
+				typ := ""
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					if id, isIdent := vs.Type.(*ast.Ident); isIdent {
+						typ = id.Name
+					} else if vs.Type != nil {
+						typ = ""
+					}
+					if typ != "ErrCode" {
+						continue
+					}
+					for _, v := range vs.Values {
+						if lit, isLit := v.(*ast.BasicLit); isLit && lit.Kind == token.STRING {
+							if s, err := strconv.Unquote(lit.Value); err == nil {
+								codes[s] = true
+							}
+						}
+					}
+				}
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts := spec.(*ast.TypeSpec)
+					st, isStruct := ts.Type.(*ast.StructType)
+					if !isStruct || ts.Name.Name != "ErrorBody" {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if field.Tag == nil {
+							continue
+						}
+						raw := strings.Trim(field.Tag.Value, "`")
+						name, _, _ := strings.Cut(reflect.StructTag(raw).Get("json"), ",")
+						if name != "" && name != "-" {
+							envelope[name] = true
+						}
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	text, err := os.ReadFile(mdPath)
+	if err != nil {
+		return nil, err
+	}
+	// Markdown side: headings open named sections; a backticked heading
+	// shaped like a route pattern documents that route; a section's
+	// documented names are the backticked first cells of its table rows.
+	headings := map[string]bool{}
+	sections := map[string]map[string]bool{}
+	section := ""
+	for _, line := range strings.Split(string(text), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "#") {
+			title := strings.TrimSpace(strings.TrimLeft(line, "#"))
+			section = title
+			if len(title) > 2 && strings.HasPrefix(title, "`") && strings.HasSuffix(title, "`") {
+				if inner := strings.Trim(title, "`"); routePattern.MatchString(inner) {
+					headings[inner] = true
+				}
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cell := strings.TrimSpace(strings.SplitN(strings.TrimPrefix(line, "|"), "|", 2)[0])
+		if len(cell) > 2 && strings.HasPrefix(cell, "`") && strings.HasSuffix(cell, "`") {
+			if sections[section] == nil {
+				sections[section] = map[string]bool{}
+			}
+			sections[section][strings.Trim(cell, "`")] = true
+		}
+	}
+
+	var bad []string
+	diff := func(documented, actual map[string]bool, kind, docPlace string) {
+		for name := range actual {
+			if !documented[name] {
+				bad = append(bad, fmt.Sprintf("%s: %s `%s` is not documented (missing from %s)",
+					mdPath, kind, name, docPlace))
+			}
+		}
+		for name := range documented {
+			if !actual[name] {
+				bad = append(bad, fmt.Sprintf("%s: %s documents %s `%s`, which does not exist in %s",
+					mdPath, docPlace, kind, name, pkgDir))
+			}
+		}
+	}
+	diff(headings, routes, "route", "the `### `METHOD /path`` headings")
+	diff(sections["Error codes"], codes, "error code", "the \"Error codes\" table")
+	diff(sections["Error envelope"], envelope, "envelope field", "the \"Error envelope\" table")
 	return bad, nil
 }
 

@@ -1,0 +1,539 @@
+// Command loadgen is an open-loop load driver for the relsim job API.
+// It offers Monte-Carlo jobs to a server at multiples of the server's
+// measured capacity, split across two tenants with 3:1 fair-share
+// weights, and reports per-stage acceptance, rejection (429 vs 503),
+// completion-latency percentiles and the per-tenant completed share —
+// the curves BENCH_9.json records.
+//
+// With -self (the default when -addr is empty) it starts an in-process
+// multi-tenant server backed by the real simulation engine, so the
+// numbers include the full HTTP + scheduling + solver path:
+//
+//	go run ./cmd/loadgen -self -stages 1,4,16 -out BENCH_9.json
+//
+// Against an external server, point -addr at it and supply the two
+// tenant keys the driver should use:
+//
+//	go run ./cmd/loadgen -addr 127.0.0.1:8080 -key-a k-acme -key-b k-beta
+//
+// The driver is open-loop: arrivals are scheduled by a clock, not by
+// responses, so saturation shows up as queueing latency and structured
+// 429/503 rejections rather than as a slowed-down driver.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+const loadDeck = `
+* cmos inverter at 90nm
+.tech 90nm
+.temp 300
+VDD vdd 0 DC 1.1
+VIN in 0 DC 0.55
+MN out in 0 0 NMOS W=1u L=90n
+MP out in vdd vdd PMOS W=2u L=90n
+.end
+`
+
+// tenantPlan is one synthetic tenant the driver submits as.
+type tenantPlan struct {
+	id     string
+	key    string
+	weight float64
+}
+
+type stats struct {
+	mu          sync.Mutex
+	offered     int
+	accepted    int
+	rejected429 int
+	rejected503 int
+	errored     int
+	completed   int
+	// completedInWin counts completions inside the submission window —
+	// the steady-state sample the fair-share ratio is measured on. After
+	// the window closes both tenants' full backlogs drain to completion
+	// regardless of weight, which would dilute the ratio toward 1:1.
+	completedInWin int
+	// droppedClient counts arrivals the driver shed because its own
+	// bounded submitter pool was saturated — the driver refusing to queue
+	// unboundedly rather than a server response.
+	droppedClient int
+	lats          []time.Duration
+}
+
+func (s *stats) lock(f func()) { s.mu.Lock(); f(); s.mu.Unlock() }
+
+type latencyJSON struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+type tenantJSON struct {
+	Weight         float64     `json:"weight"`
+	Offered        int         `json:"offered"`
+	Accepted       int         `json:"accepted"`
+	Rejected429    int         `json:"rejected_429"`
+	Rejected503    int         `json:"rejected_503"`
+	Completed      int         `json:"completed"`
+	CompletedInWin int         `json:"completed_in_window"`
+	CompletedShare float64     `json:"completed_share_in_window"`
+	DroppedClient  int         `json:"dropped_client,omitempty"`
+	LatencyMS      latencyJSON `json:"latency_ms"`
+}
+
+type stageJSON struct {
+	Multiplier    float64               `json:"multiplier"`
+	OfferedPerS   float64               `json:"offered_jobs_per_s"`
+	DurationS     float64               `json:"duration_s"`
+	Offered       int                   `json:"offered"`
+	Accepted      int                   `json:"accepted"`
+	Rejected429   int                   `json:"rejected_429"`
+	Rejected503   int                   `json:"rejected_503"`
+	Errored       int                   `json:"errored,omitempty"`
+	DroppedClient int                   `json:"dropped_client,omitempty"`
+	Completed     int                   `json:"completed"`
+	RejectionRate float64               `json:"rejection_rate"`
+	LatencyMS     latencyJSON           `json:"latency_ms"`
+	PerTenant     map[string]tenantJSON `json:"per_tenant"`
+}
+
+type reportJSON struct {
+	Change           string      `json:"change"`
+	Date             string      `json:"date"`
+	GOOS             string      `json:"goos"`
+	GOARCH           string      `json:"goarch"`
+	Command          string      `json:"command"`
+	Note             string      `json:"note"`
+	Workers          int         `json:"workers"`
+	QueueDepth       int         `json:"queue_depth"`
+	TenantMaxQueued  int         `json:"tenant_max_queued"`
+	TrialsPerJob     int         `json:"trials_per_job"`
+	CapacityJobsPerS float64     `json:"capacity_jobs_per_s"`
+	Stages           []stageJSON `json:"stages"`
+	FairShare        struct {
+		ConfiguredShareA float64 `json:"configured_share_acme"`
+		MeasuredShareA   float64 `json:"measured_share_acme_at_max_load"`
+		WithinTenPct     bool    `json:"within_ten_pct"`
+	} `json:"fair_share"`
+}
+
+var seedCounter atomic.Int64
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "host:port of a running relsim server (empty: start one in-process)")
+		self     = flag.Bool("self", false, "force the in-process server even if -addr is set")
+		keyA     = flag.String("key-a", "k-acme", "API key of the weight-3 tenant")
+		keyB     = flag.String("key-b", "k-beta", "API key of the weight-1 tenant")
+		workers  = flag.Int("workers", 2, "in-process server worker pool size")
+		queue    = flag.Int("queue", 24, "in-process server global queue depth")
+		maxQ     = flag.Int("max-queued", 12, "in-process server per-tenant max_queued quota")
+		trials   = flag.Int("trials", 60000, "Monte-Carlo trials per job (sets job service time)")
+		stagesF  = flag.String("stages", "1,4,16", "comma-separated offered-load multiples of capacity")
+		stageDur = flag.Duration("stage-duration", 12*time.Second, "submission window per stage")
+		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+	seedCounter.Store(time.Now().UnixNano() & 0x7fffffff)
+
+	tenants := []tenantPlan{
+		{id: "acme", key: *keyA, weight: 3},
+		{id: "beta", key: *keyB, weight: 1},
+	}
+	var mults []float64
+	for _, f := range strings.Split(*stagesF, ",") {
+		m, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || m <= 0 {
+			log.Fatalf("loadgen: bad -stages entry %q", f)
+		}
+		mults = append(mults, m)
+	}
+
+	target := *addr
+	if target == "" || *self {
+		target = startSelfServer(*workers, *queue, *maxQ, tenants)
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		},
+	}
+	// The event-stream client has no overall timeout: a stream stays open
+	// for the job's whole queue+service time (per-call deadlines come from
+	// a request context instead).
+	streamer := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		},
+	}
+
+	capacity := calibrate(client, streamer, target, tenants[0], *trials, *workers)
+	log.Printf("calibrated capacity: %.1f jobs/s (%d workers, %d trials/job)", capacity, *workers, *trials)
+
+	rep := reportJSON{
+		Change: "PR 9: multi-tenant job API — per-tenant keys and quotas, weighted fair-share scheduler with priority classes, batch submission with cache dedup, structured 429/503 error envelopes",
+		Date:   time.Now().Format("2006-01-02"),
+		GOOS:   runtime.GOOS, GOARCH: runtime.GOARCH,
+		Command: "go run ./cmd/loadgen -self -stages " + *stagesF,
+		Note: "open-loop load at multiples of measured capacity, split evenly across tenants acme (weight 3) and beta (weight 1). " +
+			"Latency is submit-to-terminal for accepted jobs. Per-tenant max_queued is the binding admission limit (the global " +
+			"queue equals the sum of the quotas), so under saturation each tenant keeps its own backlog full and the completed " +
+			"share measures the weighted fair-share scheduler alone: it must converge to the configured 3:1 while overload is " +
+			"shed as structured 429 (tenant quota) and 503 (global capacity) rejections. At 1x there is no sustained backlog, " +
+			"so the scheduler is work-conserving and the share tracks the 50/50 offered split instead.",
+		Workers: *workers, QueueDepth: *queue, TenantMaxQueued: *maxQ,
+		TrialsPerJob: *trials, CapacityJobsPerS: round2(capacity),
+	}
+	for _, m := range mults {
+		log.Printf("stage %gx: offering %.1f jobs/s for %s", m, m*capacity, *stageDur)
+		st := runStage(client, streamer, target, tenants, m, capacity, *stageDur, *trials)
+		rep.Stages = append(rep.Stages, st)
+		log.Printf("stage %gx: offered %d accepted %d 429 %d 503 %d completed %d p99 %.0fms",
+			m, st.Offered, st.Accepted, st.Rejected429, st.Rejected503, st.Completed, st.LatencyMS.P99)
+	}
+
+	last := rep.Stages[len(rep.Stages)-1]
+	rep.FairShare.ConfiguredShareA = 0.75
+	if tot := last.PerTenant["acme"].CompletedInWin + last.PerTenant["beta"].CompletedInWin; tot > 0 {
+		rep.FairShare.MeasuredShareA = round3(float64(last.PerTenant["acme"].CompletedInWin) / float64(tot))
+	}
+	rep.FairShare.WithinTenPct =
+		rep.FairShare.MeasuredShareA > 0.75*0.9 && rep.FairShare.MeasuredShareA < 0.75*1.1
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+// startSelfServer brings up an in-process multi-tenant server with the
+// real execution engine on a loopback port and returns its address.
+func startSelfServer(workers, queueDepth, maxQueued int, tenants []tenantPlan) string {
+	cfgs := make([]serve.TenantConfig, len(tenants))
+	for i, tp := range tenants {
+		cfgs[i] = serve.TenantConfig{
+			ID: tp.id, Key: tp.key, Weight: tp.weight, MaxQueued: maxQueued,
+		}
+	}
+	s := serve.NewServer(serve.Config{
+		QueueDepth: queueDepth,
+		Workers:    workers,
+		Registry:   obs.NewRegistry(),
+		Tenants:    cfgs,
+		// Lifecycle events only: the driver follows every accepted job via
+		// one /events stream, and per-trial progress samples would turn
+		// those streams into the dominant load on a small host.
+		ProgressEvery: 1 << 30,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	go func() {
+		if err := http.Serve(ln, s); err != nil {
+			log.Printf("loadgen: server: %v", err)
+		}
+	}()
+	log.Printf("in-process server on %s (%d workers, queue %d, per-tenant max_queued %d)",
+		ln.Addr(), workers, queueDepth, maxQueued)
+	return ln.Addr().String()
+}
+
+func specBody(trials int) []byte {
+	seed := seedCounter.Add(1)
+	b, _ := json.Marshal(map[string]any{
+		"analysis": "mc",
+		"netlist":  loadDeck,
+		"seed":     seed,
+		"mc":       map[string]any{"trials": trials, "node": "out"},
+	})
+	return b
+}
+
+// calibrate measures the server's real concurrent throughput through
+// the full HTTP path: a burst of jobs is submitted together and drained
+// by the worker pool, so the figure includes whatever parallel speedup
+// the host actually delivers (on a single-core host two workers do NOT
+// double throughput — a sequential measurement scaled by the worker
+// count would set every stage's offered load far above its multiplier).
+func calibrate(c, sc *http.Client, addr string, tp tenantPlan, trials, workers int) float64 {
+	// One warmup job to populate solver and HTTP connection caches.
+	if id, status, _ := submitJob(c, addr, tp.key, trials); status == 202 {
+		waitTerminal(sc, addr, tp.key, id, 60*time.Second)
+	}
+	const burst = 10 // within the tenant's max_queued quota
+	ids := make([]string, 0, burst)
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		id, status, _ := submitJob(c, addr, tp.key, trials)
+		if status != 202 {
+			log.Fatalf("loadgen: calibration submit got HTTP %d", status)
+		}
+		ids = append(ids, id)
+	}
+	done := 0
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if waitTerminal(sc, addr, tp.key, id, 120*time.Second) {
+				mu.Lock()
+				done++
+				mu.Unlock()
+			}
+		}(id)
+	}
+	wg.Wait()
+	if done == 0 {
+		log.Fatalf("loadgen: calibration jobs never finished")
+	}
+	return float64(done) / time.Since(start).Seconds()
+}
+
+// runStage offers mult×capacity jobs/s for dur, half to each tenant,
+// then waits for every accepted job to reach a terminal state.
+func runStage(c, sc *http.Client, addr string, tenants []tenantPlan, mult, capacity float64, dur time.Duration, trials int) stageJSON {
+	perTenantRate := mult * capacity / float64(len(tenants))
+	interval := time.Duration(float64(time.Second) / perTenantRate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	all := map[string]*stats{}
+	windowEnd := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for _, tp := range tenants {
+		st := &stats{}
+		all[tp.id] = st
+		wg.Add(1)
+		go func(tp tenantPlan, st *stats) {
+			defer wg.Done()
+			// A bounded submitter pool keeps the driver honest on a small
+			// host: without it, a burst of slow responses lets in-flight
+			// submissions pile up without bound, and the driver's own
+			// goroutine herd — not the server — becomes what is measured.
+			// Arrivals beyond the pool's intake are shed and reported as
+			// dropped_client.
+			const submitters = 24
+			arrivals := make(chan struct{}, 2*submitters)
+			var reqs, waiters sync.WaitGroup
+			for w := 0; w < submitters; w++ {
+				reqs.Add(1)
+				go func() {
+					defer reqs.Done()
+					for range arrivals {
+						oneRequest(c, sc, addr, tp, st, trials, windowEnd, &waiters)
+					}
+				}()
+			}
+			// Absolute-clock pacing: arrival k fires at start+k·interval
+			// regardless of how long earlier arrivals took to hand off, so
+			// both tenants offer exactly the same load (a ticker drops ticks
+			// under scheduling jitter and would skew the split).
+			n := int(perTenantRate * dur.Seconds())
+			start := time.Now()
+			for k := 0; k < n; k++ {
+				if d := time.Until(start.Add(time.Duration(k) * interval)); d > 0 {
+					time.Sleep(d)
+				}
+				select {
+				case arrivals <- struct{}{}:
+				default:
+					st.lock(func() { st.offered++; st.droppedClient++ })
+				}
+			}
+			close(arrivals)
+			reqs.Wait()
+			waiters.Wait()
+		}(tp, st)
+	}
+	wg.Wait()
+
+	out := stageJSON{
+		Multiplier:  mult,
+		OfferedPerS: round2(mult * capacity),
+		DurationS:   dur.Seconds(),
+		PerTenant:   map[string]tenantJSON{},
+	}
+	var allLats []time.Duration
+	totInWin := 0
+	for _, tp := range tenants {
+		totInWin += all[tp.id].completedInWin
+	}
+	for _, tp := range tenants {
+		st := all[tp.id]
+		tj := tenantJSON{
+			Weight: tp.weight, Offered: st.offered, Accepted: st.accepted,
+			Rejected429: st.rejected429, Rejected503: st.rejected503,
+			Completed: st.completed, CompletedInWin: st.completedInWin,
+			DroppedClient: st.droppedClient, LatencyMS: percentiles(st.lats),
+		}
+		if totInWin > 0 {
+			tj.CompletedShare = round3(float64(st.completedInWin) / float64(totInWin))
+		}
+		out.PerTenant[tp.id] = tj
+		out.Offered += st.offered
+		out.Accepted += st.accepted
+		out.Rejected429 += st.rejected429
+		out.Rejected503 += st.rejected503
+		out.Errored += st.errored
+		out.DroppedClient += st.droppedClient
+		out.Completed += st.completed
+		allLats = append(allLats, st.lats...)
+	}
+	if out.Offered > 0 {
+		out.RejectionRate = round3(float64(out.Rejected429+out.Rejected503) / float64(out.Offered))
+	}
+	out.LatencyMS = percentiles(allLats)
+	return out
+}
+
+// oneRequest submits one job and, if accepted, follows it to a terminal
+// state on a separate goroutine (so the submitter pool slot frees
+// immediately), recording the submit-to-terminal latency.
+func oneRequest(c, sc *http.Client, addr string, tp tenantPlan, st *stats, trials int, windowEnd time.Time, waiters *sync.WaitGroup) {
+	start := time.Now()
+	id, status, err := submitJob(c, addr, tp.key, trials)
+	st.lock(func() { st.offered++ })
+	switch {
+	case err != nil:
+		st.lock(func() { st.errored++ })
+		return
+	case status == http.StatusAccepted:
+		st.lock(func() { st.accepted++ })
+	case status == http.StatusTooManyRequests:
+		st.lock(func() { st.rejected429++ })
+		return
+	case status == http.StatusServiceUnavailable:
+		st.lock(func() { st.rejected503++ })
+		return
+	default:
+		st.lock(func() { st.errored++ })
+		return
+	}
+	waiters.Add(1)
+	go func() {
+		defer waiters.Done()
+		if waitTerminal(sc, addr, tp.key, id, 120*time.Second) {
+			lat := time.Since(start)
+			inWin := time.Now().Before(windowEnd)
+			st.lock(func() {
+				st.completed++
+				if inWin {
+					st.completedInWin++
+				}
+				st.lats = append(st.lats, lat)
+			})
+		}
+	}()
+}
+
+func submitJob(c *http.Client, addr, key string, trials int) (id string, status int, err error) {
+	req, err := http.NewRequest("POST", "http://"+addr+"/v1/jobs", bytes.NewReader(specBody(trials)))
+	if err != nil {
+		return "", 0, err
+	}
+	req.Header.Set("Authorization", "Bearer "+key)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var v struct {
+		ID string `json:"id"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	_ = json.Unmarshal(body, &v)
+	return v.ID, resp.StatusCode, nil
+}
+
+// waitTerminal follows the job's /events stream until a terminal event
+// arrives. One hanging GET per accepted job costs the server a few
+// lifecycle writes, where polling at any useful resolution would make
+// the driver itself the dominant load on the server under test.
+func waitTerminal(sc *http.Client, addr, key, id string, timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", "http://"+addr+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Authorization", "Bearer "+key)
+	resp, err := sc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return false
+	}
+	scn := bufio.NewScanner(resp.Body)
+	scn.Buffer(make([]byte, 64<<10), 64<<10)
+	for scn.Scan() {
+		var ev struct {
+			Type string `json:"type"`
+		}
+		if json.Unmarshal(scn.Bytes(), &ev) != nil {
+			continue
+		}
+		switch ev.Type {
+		case "done", "failed", "cancelled":
+			return ev.Type == "done"
+		}
+	}
+	return false
+}
+
+func percentiles(lats []time.Duration) latencyJSON {
+	if len(lats) == 0 {
+		return latencyJSON{}
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return round2(float64(sorted[i]) / float64(time.Millisecond))
+	}
+	return latencyJSON{P50: at(0.50), P90: at(0.90), P99: at(0.99)}
+}
+
+func round2(f float64) float64 { return float64(int(f*100+0.5)) / 100 }
+func round3(f float64) float64 { return float64(int(f*1000+0.5)) / 1000 }

@@ -165,11 +165,12 @@ func main() {
 		keepJobs  = flag.Int("keep-jobs", 512, "serve: max retained terminal jobs (oldest evicted first; negative = unbounded)")
 		keepAge   = flag.Duration("keep-age", 0, "serve: evict terminal jobs older than this (0 = no age bound)")
 		peers     = flag.String("peers", "", "serve: comma-separated peer server URLs to dispatch campaign shards to (mc.shards > 1); a dead peer falls back to local execution")
+		tenants   = flag.String("tenants", "", "serve: tenant keyfile ({\"tenants\":[{\"id\",\"key\",\"weight\",...}]}); enables API-key auth, per-tenant quotas and weighted fair-share scheduling")
 	)
 	flag.Parse()
 
 	if *serveAddr != "" {
-		runServe(*serveAddr, *queue, *workers, *timeout, *drain, *metrics, *progress, *dataDir, *keepJobs, *keepAge, splitList(*peers))
+		runServe(*serveAddr, *queue, *workers, *timeout, *drain, *metrics, *progress, *dataDir, *keepJobs, *keepAge, splitList(*peers), *tenants)
 		return
 	}
 	if *netFile == "" {

@@ -27,10 +27,22 @@ import (
 // as-is, queued jobs re-run, interrupted Monte-Carlo campaigns resumed
 // from their last journaled chunk checkpoint, and other interrupted
 // jobs failed with a structured cause. With -peers, campaign shards
-// (mc.shards > 1) are dispatched to peer relsim servers.
-func runServe(addr string, queueDepth, workers int, defaultTimeout, drain time.Duration, metricsAddr string, progress bool, dataDir string, keepJobs int, keepAge time.Duration, peers []string) {
+// (mc.shards > 1) are dispatched to peer relsim servers. With -tenants,
+// the API requires per-tenant keys and schedules tenants by weighted
+// fair share under their configured quotas.
+func runServe(addr string, queueDepth, workers int, defaultTimeout, drain time.Duration, metricsAddr string, progress bool, dataDir string, keepJobs int, keepAge time.Duration, peers []string, tenantsFile string) {
 	reg := obs.NewRegistry()
 	core.EnableMetrics(reg)
+
+	var tenantCfgs []serve.TenantConfig
+	if tenantsFile != "" {
+		var err error
+		tenantCfgs, err = serve.LoadTenants(tenantsFile)
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		log.Printf("multi-tenant mode: %d tenant(s) from %s", len(tenantCfgs), tenantsFile)
+	}
 
 	var st *store.Store
 	if dataDir != "" {
@@ -70,6 +82,7 @@ func runServe(addr string, queueDepth, workers int, defaultTimeout, drain time.D
 		MaxTerminalJobs: keepJobs,
 		MaxTerminalAge:  keepAge,
 		Peers:           peers,
+		Tenants:         tenantCfgs,
 	})
 
 	// Listen synchronously so a bad address or busy port is a startup

@@ -1,0 +1,52 @@
+package jobspec
+
+import "fmt"
+
+// MaxBatchSpecs bounds the number of specs one batch submission may
+// carry. A sweep bigger than this is split by the client into several
+// batches; the bound keeps one request's admission check, dedup pass and
+// journal fan-out O(small) under a tenant quota.
+const MaxBatchSpecs = 256
+
+// Batch is the wire format of POST /v1/batches: one request carrying a
+// sweep of analysis specs that are admitted atomically under the
+// submitting tenant's quota. Specs that are byte-identical after
+// defaulting (equal CanonicalHash) are deduplicated into one job, and
+// specs whose hash already has a cached result are answered from the
+// spec-keyed result cache without a queue slot — a corner/seed sweep
+// with overlapping points costs exactly its distinct uncached points.
+type Batch struct {
+	// Specs are the sweep points, in client order. Each is validated and
+	// defaulted exactly like a standalone POST /v1/jobs submission.
+	Specs []*Spec `json:"specs"`
+}
+
+// ApplyDefaults defaults every spec in the batch (see Spec.ApplyDefaults).
+func (b *Batch) ApplyDefaults() {
+	for _, s := range b.Specs {
+		if s != nil {
+			s.ApplyDefaults()
+		}
+	}
+}
+
+// Validate checks the batch shape and every contained spec; the first
+// invalid spec fails the whole batch with its index, because batch
+// admission is atomic — nothing runs unless everything admits.
+func (b *Batch) Validate() error {
+	if len(b.Specs) == 0 {
+		return fmt.Errorf("jobspec: batch needs at least one spec")
+	}
+	if len(b.Specs) > MaxBatchSpecs {
+		return fmt.Errorf("jobspec: batch carries %d specs (max %d)", len(b.Specs), MaxBatchSpecs)
+	}
+	for i, s := range b.Specs {
+		if s == nil {
+			return fmt.Errorf("jobspec: batch spec %d is null", i)
+		}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("jobspec: batch spec %d: %w", i, err)
+		}
+	}
+	return nil
+}

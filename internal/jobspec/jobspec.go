@@ -36,11 +36,11 @@ type Kind string
 
 // The supported analysis kinds. They mirror relsim's -analysis values.
 const (
-	KindOP      Kind = "op"      // DC operating point
-	KindTran    Kind = "tran"    // transient (fixed or adaptive step)
-	KindSweep   Kind = "sweep"   // DC source sweep
-	KindAC      Kind = "ac"      // small-signal frequency sweep
-	KindAge     Kind = "age"     // NBTI/HCI/TDDB mission aging
+	KindOP        Kind = "op"        // DC operating point
+	KindTran      Kind = "tran"      // transient (fixed or adaptive step)
+	KindSweep     Kind = "sweep"     // DC source sweep
+	KindAC        Kind = "ac"        // small-signal frequency sweep
+	KindAge       Kind = "age"       // NBTI/HCI/TDDB mission aging
 	KindMC        Kind = "mc"        // Monte-Carlo mismatch
 	KindCorners   Kind = "corners"   // TT/SS/FF/SF/FS global corners
 	KindCentering Kind = "centering" // design-centering yield optimization

@@ -16,7 +16,7 @@ type Workspace struct {
 	// B is the right-hand side.
 	B []float64
 	// X receives the solution of Solve.
-	X []float64
+	X  []float64
 	lu LU
 }
 

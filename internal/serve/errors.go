@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// ErrCode is the machine-readable error taxonomy of the /v1 API. Every
+// non-2xx response carries exactly one code in the JSON error envelope;
+// HTTP status codes stay what they always were (the envelope refines,
+// never replaces, the status), so pre-envelope clients that switch on
+// status keep working.
+type ErrCode string
+
+const (
+	// ErrInvalidSpec (400): the submitted spec or batch failed decoding or
+	// validation; Message names the offending field (and spec index for
+	// batches).
+	ErrInvalidSpec ErrCode = "invalid_spec"
+	// ErrBadArgument (400): a query parameter, path value or header is
+	// malformed (bad ?from, unknown priority class, bad limit).
+	ErrBadArgument ErrCode = "bad_argument"
+	// ErrUnauthorized (401): the server runs with a tenant keyfile and the
+	// request carried no key or an unknown one.
+	ErrUnauthorized ErrCode = "unauthorized"
+	// ErrForbidden (403): the key is valid but names a different tenant
+	// than the request tries to act for.
+	ErrForbidden ErrCode = "forbidden"
+	// ErrNotFound (404): no such job or batch — including jobs that exist
+	// but belong to another tenant, which are indistinguishable from
+	// absent by design.
+	ErrNotFound ErrCode = "not_found"
+	// ErrTenantQueueFull (429): the submitting tenant's own max_queued
+	// quota is exhausted; retry_after_s is derived from that tenant's own
+	// backlog, not global load.
+	ErrTenantQueueFull ErrCode = "tenant_queue_full"
+	// ErrRateLimited (429): the tenant's trial-rate token bucket cannot
+	// cover the submission; retry_after_s is the bucket's refill time.
+	ErrRateLimited ErrCode = "rate_limited"
+	// ErrQueueFull (503): global queue capacity exhausted — the shared
+	// backpressure signal, tenant-independent.
+	ErrQueueFull ErrCode = "queue_full"
+	// ErrDraining (503): the server is shutting down and admits nothing.
+	ErrDraining ErrCode = "draining"
+	// ErrNotReady (503): /readyz only — journal replay has not finished or
+	// a drain is in progress.
+	ErrNotReady ErrCode = "not_ready"
+)
+
+// ErrorBody is the structured error envelope every /v1 endpoint returns
+// on failure:
+//
+//	{"code": "tenant_queue_full", "message": "...", "retry_after_s": 12}
+//
+// retry_after_s duplicates the Retry-After header for clients that only
+// see the body; job_id is set when the error concerns a job that exists.
+type ErrorBody struct {
+	Code        ErrCode `json:"code"`
+	Message     string  `json:"message"`
+	RetryAfterS int     `json:"retry_after_s,omitempty"`
+	JobID       string  `json:"job_id,omitempty"`
+}
+
+// writeError emits the error envelope. A positive RetryAfterS is also
+// surfaced as the Retry-After header, keeping header-driven retry loops
+// working unchanged.
+func writeError(w http.ResponseWriter, status int, body ErrorBody) {
+	if body.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(body.RetryAfterS))
+	}
+	writeJSON(w, status, body)
+}
+
+// apiError builds the common code+message envelope from an error value.
+func apiError(code ErrCode, err error) ErrorBody {
+	return ErrorBody{Code: code, Message: err.Error()}
+}

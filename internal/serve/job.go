@@ -51,6 +51,12 @@ type Job struct {
 	// specHash is the canonical content address of Spec, computed once at
 	// admission; it keys the store's result cache.
 	specHash string
+	// tenant owns the job (DefaultTenant in single-tenant mode) and class
+	// is its priority class; both are fixed at admission and drive the
+	// fair-share scheduler, so they are immutable and safe to read without
+	// mu.
+	tenant string
+	class  string
 
 	mu              sync.Mutex
 	state           State
@@ -73,9 +79,11 @@ type Job struct {
 	resume []json.RawMessage
 }
 
-func newJob(id string, spec *jobspec.Spec, hash string, now time.Time) *Job {
+func newJob(id string, spec *jobspec.Spec, hash, tenant, class string, now time.Time) *Job {
 	j := &Job{
 		ID: id, Spec: spec, specHash: hash,
+		tenant:    tenant,
+		class:     class,
 		state:     StateQueued,
 		submitted: now,
 		changed:   make(chan struct{}),
@@ -87,9 +95,11 @@ func newJob(id string, spec *jobspec.Spec, hash string, now time.Time) *Job {
 // newCachedJob builds a job that is born terminal: its result is the
 // byte-identical snapshot of an earlier run with the same canonical
 // spec hash, so it never touches the queue or the worker pool.
-func newCachedJob(id string, spec *jobspec.Spec, hash string, result json.RawMessage, now time.Time) *Job {
+func newCachedJob(id string, spec *jobspec.Spec, hash, tenant, class string, result json.RawMessage, now time.Time) *Job {
 	j := &Job{
 		ID: id, Spec: spec, specHash: hash,
+		tenant:    tenant,
+		class:     class,
 		state:     StateDone,
 		submitted: now,
 		finished:  now,
@@ -133,9 +143,19 @@ func resumable(r store.RecoveredJob) bool {
 func restoredJob(r store.RecoveredJob, now time.Time) *Job {
 	j := &Job{
 		ID: r.ID, Spec: r.Spec, specHash: r.Hash,
+		tenant:    r.Tenant,
+		class:     r.Class,
 		state:     StateQueued,
 		submitted: r.Submitted,
 		changed:   make(chan struct{}),
+	}
+	// Journals written before multi-tenancy carry no tenant; their jobs
+	// belong to the default tenant with default priority.
+	if j.tenant == "" {
+		j.tenant = DefaultTenant
+	}
+	if !validClass(j.class) {
+		j.class = ClassInteractive
 	}
 	j.appendLocked(Event{Type: "queued"})
 	switch r.State {
@@ -305,14 +325,21 @@ func (j *Job) terminalSnapshot() (st State, errMsg string, raw json.RawMessage, 
 	return j.state, j.errMsg, j.result, cacheable
 }
 
-// eventsSince returns a copy of the events from seq on, whether the job
-// is terminal, and a channel that closes on the next change — everything
-// a streamer needs for one race-free iteration.
-func (j *Job) eventsSince(seq int) (evs []Event, terminal bool, wait <-chan struct{}) {
+// eventsSince returns a copy of up to max events from seq on (max <= 0 =
+// unbounded), whether the job is terminal, and a channel that closes on
+// the next change — everything a streamer needs for one race-free
+// iteration. The bound keeps one streamer's copy-under-lock O(max) even
+// against a job with a huge progress log, so a thousand concurrent
+// subscribers cannot stall progress appends behind full-log copies.
+func (j *Job) eventsSince(seq, max int) (evs []Event, terminal bool, wait <-chan struct{}) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if seq < len(j.events) {
-		evs = append(evs, j.events[seq:]...)
+		end := len(j.events)
+		if max > 0 && seq+max < end {
+			end = seq + max
+		}
+		evs = append(evs, j.events[seq:end]...)
 	}
 	return evs, j.state.Terminal(), j.changed
 }
@@ -320,8 +347,11 @@ func (j *Job) eventsSince(seq int) (evs []Event, terminal bool, wait <-chan stru
 // View is the JSON representation of a job served by the API. List
 // responses omit Spec and Result; the single-job endpoint includes them.
 type View struct {
-	ID        string       `json:"id"`
-	State     State        `json:"state"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Tenant owns the job; Class is its scheduling priority class.
+	Tenant    string       `json:"tenant,omitempty"`
+	Class     string       `json:"class,omitempty"`
 	Analysis  jobspec.Kind `json:"analysis"`
 	Submitted time.Time    `json:"submitted"`
 	Started   *time.Time   `json:"started,omitempty"`
@@ -344,6 +374,8 @@ func (j *Job) view(full bool) View {
 	v := View{
 		ID:        j.ID,
 		State:     j.state,
+		Tenant:    j.tenant,
+		Class:     j.class,
 		Analysis:  j.Spec.Analysis,
 		Submitted: j.submitted,
 		Error:     j.errMsg,

@@ -26,10 +26,16 @@ import (
 //	serve_shard_fallbacks_total       count  peer shard dispatches that fell back to local execution
 //	serve_subjobs_cached_total        count  signoff sub-jobs answered from the result cache
 //	serve_store_errors_total          count  store writes that failed (job state stays in memory)
+//	serve_batches_submitted_total     count  batch submissions accepted
+//	serve_batch_specs_deduped_total   count  batch specs folded into an identical sibling spec
+//	serve_batch_specs_cached_total    count  batch specs answered from the result cache
 //	serve_queue_depth                 gauge  jobs waiting in the bounded queue
 //	serve_jobs_inflight               gauge  jobs currently executing on the worker pool
+//	serve_event_subscribers           gauge  open /events streams
 //	serve_job_seconds                 s      submit→finish latency of finished jobs
 //	serve_queue_wait_seconds          s      submit→start wait of started jobs
+//
+// plus the per-tenant family documented at the tenant helpers below.
 type metrics struct {
 	reg              *obs.Registry
 	submitted        *obs.Counter
@@ -44,8 +50,12 @@ type metrics struct {
 	shardFallbacks   *obs.Counter
 	subjobsCached    *obs.Counter
 	storeErrors      *obs.Counter
+	batches          *obs.Counter
+	batchDeduped     *obs.Counter
+	batchCached      *obs.Counter
 	depth            *obs.Gauge
 	inflight         *obs.Gauge
+	subscribers      *obs.Gauge
 	jobSecs          *obs.Histogram
 	waitSecs         *obs.Histogram
 }
@@ -65,8 +75,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 		shardFallbacks:   reg.Counter("serve_shard_fallbacks_total", "1", "peer shard dispatches that fell back to local execution"),
 		subjobsCached:    reg.Counter("serve_subjobs_cached_total", "1", "signoff sub-jobs answered from the result cache"),
 		storeErrors:      reg.Counter("serve_store_errors_total", "1", "store writes that failed"),
+		batches:          reg.Counter("serve_batches_submitted_total", "1", "batch submissions accepted"),
+		batchDeduped:     reg.Counter("serve_batch_specs_deduped_total", "1", "batch specs folded into an identical sibling spec"),
+		batchCached:      reg.Counter("serve_batch_specs_cached_total", "1", "batch specs answered from the result cache"),
 		depth:            reg.Gauge("serve_queue_depth", "1", "jobs waiting in the bounded queue"),
 		inflight:         reg.Gauge("serve_jobs_inflight", "1", "jobs currently executing"),
+		subscribers:      reg.Gauge("serve_event_subscribers", "1", "open /events streams"),
 		jobSecs:          reg.Histogram("serve_job_seconds", "s", "submit-to-finish job latency", nil),
 		waitSecs:         reg.Histogram("serve_queue_wait_seconds", "s", "submit-to-start queue wait", nil),
 	}
@@ -79,6 +93,41 @@ func newMetrics(reg *obs.Registry) *metrics {
 func (m *metrics) kindCounter(kind jobspec.Kind) *obs.Counter {
 	return m.reg.Counter("serve_jobs_submitted_"+string(kind)+"_total", "1",
 		"accepted jobs with analysis "+string(kind))
+}
+
+// Per-tenant instruments, label-in-name like kindCounter. Tenant ids are
+// operator-chosen from a small static keyfile, so the name space stays
+// bounded.
+//
+//	serve_tenant_<id>_admitted_total   count  jobs of the tenant admitted to the queue
+//	serve_tenant_<id>_rejected_total   count  submissions refused by the tenant's own quota (429)
+//	serve_tenant_<id>_scheduled_total  count  jobs of the tenant handed to workers
+//	serve_tenant_<id>_trials_total     count  trials completed for the tenant (non-MC jobs count 1)
+//	serve_tenant_<id>_queue_depth      gauge  jobs of the tenant waiting in the queue
+
+func (m *metrics) tenantAdmitted(tenant string) *obs.Counter {
+	return m.reg.Counter("serve_tenant_"+tenant+"_admitted_total", "1",
+		"jobs of tenant "+tenant+" admitted to the queue")
+}
+
+func (m *metrics) tenantRejected(tenant string) *obs.Counter {
+	return m.reg.Counter("serve_tenant_"+tenant+"_rejected_total", "1",
+		"submissions of tenant "+tenant+" rejected by its own quota")
+}
+
+func (m *metrics) tenantScheduled(tenant string) *obs.Counter {
+	return m.reg.Counter("serve_tenant_"+tenant+"_scheduled_total", "1",
+		"jobs of tenant "+tenant+" handed to workers")
+}
+
+func (m *metrics) tenantTrials(tenant string) *obs.Counter {
+	return m.reg.Counter("serve_tenant_"+tenant+"_trials_total", "1",
+		"trials completed for tenant "+tenant)
+}
+
+func (m *metrics) tenantDepth(tenant string) *obs.Gauge {
+	return m.reg.Gauge("serve_tenant_"+tenant+"_queue_depth", "1",
+		"jobs of tenant "+tenant+" waiting in the queue")
 }
 
 // finished bumps the terminal-state counter for st.

@@ -2,59 +2,289 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 )
 
-// errQueueFull rejects a submission when the bounded queue is at
-// capacity — the server's backpressure signal (HTTP 503 + Retry-After).
+// errQueueFull rejects a submission when the global queue bound is
+// reached — the server's capacity backpressure (HTTP 503 + Retry-After).
 var errQueueFull = errors.New("serve: job queue full")
 
 // errDraining rejects a submission once shutdown has begun.
 var errDraining = errors.New("serve: server is draining")
 
-// jobQueue is a bounded FIFO of accepted-but-not-yet-running jobs. The
-// buffered channel is the queue; the mutex only serializes push against
-// close so a draining server can never panic on a concurrent submit.
+// errTenantQueueFull rejects a submission that would exceed the
+// submitting tenant's own max_queued quota — a per-tenant 429, distinct
+// from the global-capacity 503, because the remedy is different: the
+// tenant must drain its own backlog, not wait for global capacity.
+type errTenantQueueFull struct {
+	tenant string
+	limit  int
+}
+
+func (e *errTenantQueueFull) Error() string {
+	return fmt.Sprintf("serve: tenant %s queue full (max_queued %d)", e.tenant, e.limit)
+}
+
+// jobQueue is the weighted fair-share scheduler that replaced the single
+// bounded FIFO: each tenant owns two FIFO lanes (interactive before
+// batch) and a stride-scheduling pass value. Workers pop the job of the
+// eligible tenant with the smallest pass; every pop advances that
+// tenant's pass by 1/weight, so under saturation tenants are scheduled
+// jobs in proportion to their weights, an idle tenant's pass is clamped
+// to the global virtual clock when it returns (no banked credit), and a
+// tenant at its max_running cap is skipped without blocking the others.
+// The global capacity bound keeps the exact backpressure accounting of
+// the old FIFO: a burst of capacity+k admissible submissions yields
+// exactly k rejections.
 type jobQueue struct {
 	mu     sync.Mutex
-	ch     chan *Job
+	cond   *sync.Cond
 	closed bool
+
+	capGlobal int
+	queued    int
+	clock     float64
+
+	tenants map[string]*tenantLane
 }
+
+// tenantLane is one tenant's scheduling state.
+type tenantLane struct {
+	id         string
+	weight     float64
+	maxQueued  int
+	maxRunning int
+
+	interactive []*Job
+	batch       []*Job
+	running     int
+	// pass is the stride-scheduling virtual time; scheduled counts pops
+	// handed to workers over the lane's lifetime (restored from the
+	// journal after a restart so fair-share accounting survives).
+	pass      float64
+	scheduled int
+}
+
+func (l *tenantLane) depth() int { return len(l.interactive) + len(l.batch) }
 
 func newJobQueue(depth int) *jobQueue {
-	return &jobQueue{ch: make(chan *Job, depth)}
+	q := &jobQueue{capGlobal: depth, tenants: map[string]*tenantLane{}}
+	q.cond = sync.NewCond(&q.mu)
+	return q
 }
 
-// tryPush enqueues without blocking: a full queue is an immediate
-// errQueueFull, which is what gives the server exact backpressure
-// accounting (a burst of capacity+k submissions yields exactly k
-// rejections).
-func (q *jobQueue) tryPush(j *Job) error {
+// laneLocked returns (creating if needed) the tenant's lane. Tenants
+// outside the keyfile — the single-tenant default — get weight 1 and no
+// per-tenant quotas.
+func (q *jobQueue) laneLocked(tenant string, cfg *TenantConfig) *tenantLane {
+	l := q.tenants[tenant]
+	if l == nil {
+		l = &tenantLane{id: tenant, weight: 1}
+		if cfg != nil {
+			if cfg.Weight > 0 {
+				l.weight = cfg.Weight
+			}
+			l.maxQueued = cfg.MaxQueued
+			l.maxRunning = cfg.MaxRunning
+		}
+		q.tenants[tenant] = l
+	}
+	return l
+}
+
+// tryPush admits jobs atomically for one tenant: either every job is
+// enqueued or none is. It rejects with errDraining after close,
+// errTenantQueueFull when the tenant's own max_queued quota cannot hold
+// them, and errQueueFull when global capacity cannot — checked in that
+// order, so a tenant over its own quota sees its own 429 even when the
+// server is also globally full.
+func (q *jobQueue) tryPush(cfg *TenantConfig, jobs ...*Job) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	tenant := jobs[0].tenant
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return errDraining
 	}
-	select {
-	case q.ch <- j:
-		return nil
-	default:
+	l := q.laneLocked(tenant, cfg)
+	if l.maxQueued > 0 && l.depth()+len(jobs) > l.maxQueued {
+		return &errTenantQueueFull{tenant: tenant, limit: l.maxQueued}
+	}
+	if q.queued+len(jobs) > q.capGlobal {
 		return errQueueFull
+	}
+	q.pushLocked(l, jobs)
+	return nil
+}
+
+// forcePush enqueues without quota or capacity checks — the restore
+// path, which must never drop work the previous process had accepted
+// (the queue was sized to fit it).
+func (q *jobQueue) forcePush(cfg *TenantConfig, jobs ...*Job) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errDraining
+	}
+	q.pushLocked(q.laneLocked(jobs[0].tenant, cfg), jobs)
+	return nil
+}
+
+func (q *jobQueue) pushLocked(l *tenantLane, jobs []*Job) {
+	if l.depth() == 0 {
+		// A lane going busy re-enters the schedule at the current virtual
+		// time: idling earns no credit against active tenants.
+		if l.pass < q.clock {
+			l.pass = q.clock
+		}
+	}
+	for _, j := range jobs {
+		if j.class == ClassBatch {
+			l.batch = append(l.batch, j)
+		} else {
+			l.interactive = append(l.interactive, j)
+		}
+	}
+	q.queued += len(jobs)
+	q.cond.Broadcast()
+}
+
+// pop blocks until a job is schedulable and returns it, or returns
+// ok=false when the queue is closed and fully drained. The caller must
+// pair every successful pop with exactly one done() when the job leaves
+// execution, or max_running accounting wedges the tenant.
+func (q *jobQueue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if j := q.selectLocked(); j != nil {
+			return j, true
+		}
+		if q.closed && q.queued == 0 {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// selectLocked implements the stride pick: among tenants with queued
+// work and running headroom, the smallest pass wins (ties broken by id
+// for determinism); within the winner, interactive before batch.
+func (q *jobQueue) selectLocked() *Job {
+	var best *tenantLane
+	for _, l := range q.tenants {
+		if l.depth() == 0 {
+			continue
+		}
+		if l.maxRunning > 0 && l.running >= l.maxRunning {
+			continue
+		}
+		if best == nil || l.pass < best.pass || (l.pass == best.pass && l.id < best.id) {
+			best = l
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	var j *Job
+	if len(best.interactive) > 0 {
+		j = best.interactive[0]
+		best.interactive = best.interactive[1:]
+	} else {
+		j = best.batch[0]
+		best.batch = best.batch[1:]
+	}
+	if best.pass > q.clock {
+		q.clock = best.pass
+	}
+	best.pass += 1 / best.weight
+	best.running++
+	best.scheduled++
+	q.queued--
+	return j
+}
+
+// done releases the job's running slot; it wakes waiters because a
+// tenant previously at its max_running cap may now be schedulable.
+func (q *jobQueue) done(j *Job) {
+	q.mu.Lock()
+	if l := q.tenants[j.tenant]; l != nil && l.running > 0 {
+		l.running--
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// restoreScheduled seeds per-tenant fair-share accounting from the
+// journal after a restart: each tenant's pass resumes at
+// scheduled/weight, so a tenant that consumed more than its share
+// before the crash does not start the new process at parity.
+func (q *jobQueue) restoreScheduled(counts map[string]int, cfg func(string) *TenantConfig) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for tenant, n := range counts {
+		l := q.laneLocked(tenant, cfg(tenant))
+		l.scheduled = n
+		l.pass = float64(n) / l.weight
+	}
+	// The clock resumes at the laggard's pass: lanes keep their relative
+	// debt, and the idle-clamp in pushLocked cannot erase it.
+	first := true
+	for _, l := range q.tenants {
+		if first || l.pass < q.clock {
+			q.clock = l.pass
+			first = false
+		}
 	}
 }
 
 // close stops admission; workers drain whatever is already queued.
 func (q *jobQueue) close() {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if !q.closed {
 		q.closed = true
-		close(q.ch)
+		q.cond.Broadcast()
 	}
+	q.mu.Unlock()
 }
 
-// depth returns the current number of queued jobs.
-func (q *jobQueue) depth() int { return len(q.ch) }
+// depth returns the total number of queued jobs across all tenants.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
 
-// capacity returns the queue bound.
-func (q *jobQueue) capacity() int { return cap(q.ch) }
+// tenantDepth returns one tenant's queued-job count.
+func (q *jobQueue) tenantDepth(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if l := q.tenants[tenant]; l != nil {
+		return l.depth()
+	}
+	return 0
+}
+
+// tenantScheduled returns how many jobs of the tenant have been handed
+// to workers (including the journal-restored count).
+func (q *jobQueue) tenantScheduled(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if l := q.tenants[tenant]; l != nil {
+		return l.scheduled
+	}
+	return 0
+}
+
+// capacity returns the global queue bound.
+func (q *jobQueue) capacity() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.capGlobal
+}

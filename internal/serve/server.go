@@ -2,16 +2,23 @@
 // the paper's §5.2 resilience loop (monitor → control → knob) presumes
 // reliability analyses run continuously as parameterized campaigns, and
 // this package turns the one-shot engines into exactly that. It exposes
-// an HTTP API over the versioned jobspec schema: submit (POST /v1/jobs),
-// poll (GET /v1/jobs/{id}), stream per-trial/per-checkpoint progress as
+// a multi-tenant HTTP API over the versioned jobspec schema: submit
+// (POST /v1/jobs), submit a sweep (POST /v1/batches), poll
+// (GET /v1/jobs/{id}), stream per-trial/per-checkpoint progress as
 // NDJSON (GET /v1/jobs/{id}/events), cancel (DELETE /v1/jobs/{id}) and
-// list (GET /v1/jobs). Behind the API sits a bounded queue with exact
-// backpressure (503 + Retry-After when full), a worker pool sized off
-// GOMAXPROCS driving jobspec.Execute with per-job cancellation, obs
-// instruments folded into the shared registry, and graceful shutdown
-// that stops admission, drains running jobs up to a deadline and
-// persists partial results. Jobs inherit the engines' fault isolation:
-// a panicking trial fails one job, never the server.
+// list (GET /v1/jobs, paginated). Tenants are authenticated by static
+// API keys from a keyfile; each carries a fair-share weight, queue and
+// concurrency quotas and a trial-rate budget, and a weighted fair-share
+// scheduler with interactive/batch priority classes replaces the old
+// single FIFO so no tenant can starve another. Quota rejections answer
+// 429 with a structured error envelope and a Retry-After derived from
+// the tenant's own backlog; global capacity exhaustion keeps the old
+// 503. Behind the API sits a worker pool sized off GOMAXPROCS driving
+// jobspec.Execute with per-job cancellation, obs instruments folded
+// into the shared registry, and graceful shutdown that stops admission,
+// drains running jobs up to a deadline and persists partial results.
+// Jobs inherit the engines' fault isolation: a panicking trial fails
+// one job, never the server.
 package serve
 
 import (
@@ -24,6 +31,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/jobspec"
@@ -83,6 +91,16 @@ type Config struct {
 	// bound). Age is measured from the job's finish time and enforced on
 	// admission and job completion.
 	MaxTerminalAge time.Duration
+	// Tenants is the static tenant table (id, API key, weight, quotas).
+	// Empty means single-tenant mode: no authentication, every job owned
+	// by DefaultTenant with weight 1 and no quotas — the pre-multi-tenant
+	// behaviour, bit for bit. Non-empty means every /v1 request must
+	// present a listed key.
+	Tenants []TenantConfig
+	// EventWriteTimeout bounds one NDJSON write on a /v1/jobs/{id}/events
+	// stream (default 10s): a reader that stops draining its socket is
+	// disconnected instead of parking a handler goroutine forever.
+	EventWriteTimeout time.Duration
 }
 
 // Server is the job service. Create it with NewServer — the worker pool
@@ -93,15 +111,29 @@ type Server struct {
 	mux     *http.ServeMux
 	queue   *jobQueue
 	met     *metrics
+	tenants *tenantSet
 	baseCtx context.Context
 	stopAll context.CancelFunc
 	wg      sync.WaitGroup
+	// ready flips once journal replay and restore have completed; until
+	// then /readyz answers 503 not_ready (liveness /healthz is unaffected).
+	ready atomic.Bool
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string
 	nextID   int
 	draining bool
+
+	// batchMu guards the ephemeral batch table: groupings of job IDs per
+	// POST /v1/batches, kept for GET /v1/batches/{id} aggregation. The
+	// jobs themselves are journaled; the grouping is in-memory only and
+	// bounded (oldest evicted), so a restart keeps every job and result
+	// but forgets which batch envelope they arrived in.
+	batchMu     sync.Mutex
+	batches     map[string]*batchRecord
+	batchOrder  []string
+	nextBatchID int
 
 	// durMu guards durEWMA, the smoothed execution time (seconds) of
 	// recently finished jobs, which load-scales the Retry-After hint.
@@ -124,6 +156,9 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxTerminalJobs == 0 {
 		cfg.MaxTerminalJobs = 512
 	}
+	if cfg.EventWriteTimeout <= 0 {
+		cfg.EventWriteTimeout = 10 * time.Second
+	}
 	var recovered []store.RecoveredJob
 	if cfg.Store != nil {
 		recovered = cfg.Store.Recovered()
@@ -142,17 +177,32 @@ func NewServer(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		queue:   newJobQueue(depth),
 		met:     newMetrics(cfg.Registry),
+		tenants: newTenantSet(cfg.Tenants),
 		baseCtx: ctx,
 		stopAll: cancel,
 		jobs:    make(map[string]*Job),
+		batches: make(map[string]*batchRecord),
 	}
 	s.routes()
 	s.restore(recovered)
+	s.ready.Store(true)
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// tenantCfg returns the keyfile entry of a tenant id, nil for tenants
+// outside the keyfile (the default tenant in single-tenant mode).
+func (s *Server) tenantCfg(id string) *TenantConfig {
+	if s.tenants == nil {
+		return nil
+	}
+	if st := s.tenants.byID[id]; st != nil {
+		return &st.cfg
+	}
+	return nil
 }
 
 func countRecoveredRunnable(recovered []store.RecoveredJob) int {
@@ -173,9 +223,13 @@ func countRecoveredRunnable(recovered []store.RecoveredJob) int {
 // and other jobs that died mid-run are finalized as failed with a
 // structured InterruptedError — a new transition in this process, so it
 // is counted and journaled, and the next restart replays it as plain
-// failed.
+// failed. Fair-share accounting survives the restart: every recovered
+// job that had reached a worker counts toward its tenant's scheduled
+// total, so a tenant that consumed more than its share before the crash
+// does not restart at parity.
 func (s *Server) restore(recovered []store.RecoveredJob) {
 	now := time.Now()
+	scheduled := map[string]int{}
 	for _, r := range recovered {
 		j := restoredJob(r, now)
 		s.jobs[j.ID] = j
@@ -184,10 +238,13 @@ func (s *Server) restore(recovered []store.RecoveredJob) {
 		if _, err := fmt.Sscanf(r.ID, "job-%d", &n); err == nil && n > s.nextID {
 			s.nextID = n
 		}
+		if !r.Started.IsZero() {
+			scheduled[j.tenant]++
+		}
 		switch r.State {
 		case store.StateQueued:
-			if err := s.queue.tryPush(j); err != nil {
-				// Unreachable — the queue was sized to fit — but a dropped
+			if err := s.queue.forcePush(s.tenantCfg(j.tenant), j); err != nil {
+				// Unreachable — restore precedes any drain — but a dropped
 				// job must still reach a terminal state.
 				if j.requestCancel("recovered queued job dropped: " + err.Error()) {
 					s.met.finished(StateCancelled)
@@ -197,7 +254,7 @@ func (s *Server) restore(recovered []store.RecoveredJob) {
 		case store.StateInterrupted:
 			if resumable(r) {
 				s.met.resumed.Inc()
-				if err := s.queue.tryPush(j); err != nil {
+				if err := s.queue.forcePush(s.tenantCfg(j.tenant), j); err != nil {
 					if j.requestCancel("recovered campaign dropped: " + err.Error()) {
 						s.met.finished(StateCancelled)
 						s.persistTerminal(j)
@@ -209,17 +266,37 @@ func (s *Server) restore(recovered []store.RecoveredJob) {
 			s.persistTerminal(j)
 		}
 	}
+	s.queue.restoreScheduled(scheduled, s.tenantCfg)
 	s.met.depth.Set(float64(s.queue.depth()))
 	s.enforceRetention(now)
 }
 
+// authed wraps a /v1 handler with tenant authentication. In
+// single-tenant mode (no keyfile) every request passes with a nil
+// tenant state; with a keyfile, a missing or unknown key answers 401
+// before the handler runs.
+func (s *Server) authed(h func(http.ResponseWriter, *http.Request, *tenantState)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ts, ok := s.tenants.authenticate(r)
+		if !ok {
+			writeError(w, http.StatusUnauthorized,
+				apiError(ErrUnauthorized, errors.New("missing or unknown API key")))
+			return
+		}
+		h(w, r, ts)
+	}
+}
+
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/jobs", s.authed(s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.authed(s.handleList))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.authed(s.handleGet))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.authed(s.handleCancel))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.authed(s.handleEvents))
+	s.mux.HandleFunc("POST /v1/batches", s.authed(s.handleBatchSubmit))
+	s.mux.HandleFunc("GET /v1/batches/{id}", s.authed(s.handleBatchGet))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	if s.cfg.Registry != nil {
 		// One listener for jobs and observability: the obs endpoints ride
 		// the job mux, so -serve needs no separate -metrics-addr.
@@ -267,11 +344,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // addJob allocates the next job ID and tracks the new queued job.
-func (s *Server) addJob(spec *jobspec.Spec, hash string) *Job {
+func (s *Server) addJob(spec *jobspec.Spec, hash, tenant, class string) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	j := newJob(fmt.Sprintf("job-%06d", s.nextID), spec, hash, time.Now())
+	j := newJob(fmt.Sprintf("job-%06d", s.nextID), spec, hash, tenant, class, time.Now())
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	return j
@@ -280,14 +357,14 @@ func (s *Server) addJob(spec *jobspec.Spec, hash string) *Job {
 // addCachedJob tracks a job born terminal from a cache hit. It returns
 // nil while draining, so the caller falls through to the queue push and
 // its canonical "draining" rejection.
-func (s *Server) addCachedJob(spec *jobspec.Spec, hash string, result json.RawMessage) *Job {
+func (s *Server) addCachedJob(spec *jobspec.Spec, hash, tenant, class string, result json.RawMessage) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return nil
 	}
 	s.nextID++
-	j := newCachedJob(fmt.Sprintf("job-%06d", s.nextID), spec, hash, result, time.Now())
+	j := newCachedJob(fmt.Sprintf("job-%06d", s.nextID), spec, hash, tenant, class, result, time.Now())
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	return j
@@ -319,6 +396,16 @@ func (s *Server) persistTerminal(j *Job) {
 	}
 	state, errMsg, raw, cacheable := j.terminalSnapshot()
 	s.storeErr(st.JobTerminal(j.ID, string(state), errMsg, raw, cacheable, time.Now()))
+}
+
+// persistSubmitted journals a job's admission with its tenant/class
+// provenance, so a restart rebuilds both the job and the fair-share
+// accounting it participates in.
+func (s *Server) persistSubmitted(j *Job, now time.Time) {
+	if st := s.cfg.Store; st != nil {
+		s.storeErr(st.JobSubmitted(j.ID, j.Spec, j.specHash,
+			store.SubmitMeta{Tenant: j.tenant, Class: j.class}, now))
+	}
 }
 
 // storeErr counts a store write failure (nil is a no-op).
@@ -414,11 +501,27 @@ func retryAfter(depth, workers int, avgSec float64) int {
 	return int(est)
 }
 
-func (s *Server) retryAfterHint() int {
+func (s *Server) avgJobSec() float64 {
 	s.durMu.Lock()
-	avg := s.durEWMA
-	s.durMu.Unlock()
-	return retryAfter(s.queue.depth(), s.cfg.Workers, avg)
+	defer s.durMu.Unlock()
+	return s.durEWMA
+}
+
+func (s *Server) retryAfterHint() int {
+	return retryAfter(s.queue.depth(), s.cfg.Workers, s.avgJobSec())
+}
+
+// tenantRetryAfterHint estimates when the tenant's own backlog will have
+// drained enough to admit again: its queued jobs spread over the workers
+// it can actually occupy (its max_running cap, if tighter than the
+// pool). This is the 429 hint — a function of the tenant's own state,
+// deliberately independent of other tenants' backlogs.
+func (s *Server) tenantRetryAfterHint(tenant string, cfg *TenantConfig) int {
+	workers := s.cfg.Workers
+	if cfg != nil && cfg.MaxRunning > 0 && cfg.MaxRunning < workers {
+		workers = cfg.MaxRunning
+	}
+	return retryAfter(s.queue.tenantDepth(tenant), workers, s.avgJobSec())
 }
 
 // observeJobDuration folds one finished job's execution time into the
@@ -439,43 +542,129 @@ func (s *Server) job(id string) *Job {
 	return s.jobs[id]
 }
 
-// maxSpecBytes bounds a submitted spec (the netlist rides inline).
+// jobForTenant resolves a job id within the caller's tenant scope: with
+// a keyfile, a job owned by another tenant is reported exactly like a
+// missing one, so ids cannot be probed across tenants.
+func (s *Server) jobForTenant(id string, ts *tenantState) *Job {
+	j := s.job(id)
+	if j == nil {
+		return nil
+	}
+	if s.tenants != nil && j.tenant != tenantID(ts) {
+		return nil
+	}
+	return j
+}
+
+// requestClass resolves the X-Priority header to a scheduling class.
+func requestClass(r *http.Request, def string) (string, error) {
+	c := r.Header.Get("X-Priority")
+	if c == "" {
+		return def, nil
+	}
+	if !validClass(c) {
+		return "", fmt.Errorf("unknown priority class %q (want %q or %q)",
+			c, ClassInteractive, ClassBatch)
+	}
+	return c, nil
+}
+
+// maxSpecBytes bounds a submitted spec or batch (netlists ride inline).
 const maxSpecBytes = 8 << 20
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// rejectPush maps a queue admission error to its wire response: tenant
+// quota → 429 tenant_queue_full with the tenant's own backlog as
+// Retry-After; global capacity or drain → 503 with the load-scaled
+// global hint.
+func (s *Server) rejectPush(w http.ResponseWriter, err error, ts *tenantState) {
+	var tqf *errTenantQueueFull
+	if errors.As(err, &tqf) {
+		s.met.tenantRejected(tqf.tenant).Inc()
+		body := apiError(ErrTenantQueueFull, err)
+		body.RetryAfterS = s.tenantRetryAfterHint(tqf.tenant, s.tenantCfg(tqf.tenant))
+		writeError(w, http.StatusTooManyRequests, body)
+		return
+	}
+	s.met.rejected.Inc()
+	code := ErrQueueFull
+	if errors.Is(err, errDraining) {
+		code = ErrDraining
+	}
+	body := apiError(code, err)
+	body.RetryAfterS = s.retryAfterHint()
+	writeError(w, http.StatusServiceUnavailable, body)
+}
+
+// admitRate debits the tenant's trial-rate bucket for cost trials; on an
+// empty bucket it answers the 429 itself and returns false.
+func (s *Server) admitRate(w http.ResponseWriter, ts *tenantState, cost float64) bool {
+	if ts == nil {
+		return true
+	}
+	ok, wait := ts.takeTrials(cost, time.Now())
+	if ok {
+		return true
+	}
+	s.met.tenantRejected(ts.cfg.ID).Inc()
+	body := apiError(ErrRateLimited, fmt.Errorf(
+		"serve: tenant %s trial-rate budget exhausted (%.0f trials requested)", ts.cfg.ID, cost))
+	body.RetryAfterS = wait
+	writeError(w, http.StatusTooManyRequests, body)
+	return false
+}
+
+// decodeSpec reads and validates one submission body into a
+// defaults-applied spec, answering the 400 itself on failure.
+func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) *jobspec.Spec {
 	spec := new(jobspec.Spec)
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
-		return
+		writeError(w, http.StatusBadRequest, apiError(ErrInvalidSpec, fmt.Errorf("decoding spec: %w", err)))
+		return nil
 	}
 	if spec.NetlistFile != "" {
-		writeError(w, http.StatusBadRequest,
-			errors.New("the job server accepts inline netlists only (set \"netlist\", not \"netlist_file\")"))
-		return
+		writeError(w, http.StatusBadRequest, apiError(ErrInvalidSpec,
+			errors.New("the job server accepts inline netlists only (set \"netlist\", not \"netlist_file\")")))
+		return nil
 	}
 	spec.ApplyDefaults()
 	if s.cfg.DefaultTimeout > 0 && spec.Timeout == 0 {
 		spec.Timeout = jobspec.Duration(s.cfg.DefaultTimeout)
 	}
 	if err := spec.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, apiError(ErrInvalidSpec, err))
+		return nil
+	}
+	return spec
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, ts *tenantState) {
+	tenant := tenantID(ts)
+	class, err := requestClass(r, ClassInteractive)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError(ErrBadArgument, err))
+		return
+	}
+	spec := s.decodeSpec(w, r)
+	if spec == nil {
 		return
 	}
 	hash := spec.CanonicalHash()
 	// Spec-keyed result cache: every analysis is a pure function of the
 	// defaults-applied (Spec, Seed), so an identical resubmission is
 	// answered with the persisted snapshot — byte-identical, no queue
-	// slot, no recomputation — as a job born terminal (200, not 202).
+	// slot, no recomputation, no trial-rate debit — as a job born
+	// terminal (200, not 202).
 	if st := s.cfg.Store; st != nil && !spec.NoCache {
 		if _, raw, ok := st.CachedResult(hash); ok {
-			if j := s.addCachedJob(spec, hash, raw); j != nil {
+			if j := s.addCachedJob(spec, hash, tenant, class, raw); j != nil {
 				s.met.submitted.Inc()
 				s.met.kindCounter(spec.Analysis).Inc()
+				s.met.tenantAdmitted(tenant).Inc()
 				s.met.finished(StateDone)
 				now := time.Now()
-				s.storeErr(st.JobSubmitted(j.ID, spec, hash, now))
+				s.persistSubmitted(j, now)
 				// cacheable=false: the cache already holds the canonical
 				// entry this snapshot was copied from.
 				s.storeErr(st.JobTerminal(j.ID, string(StateDone), "", raw, false, now))
@@ -487,56 +676,126 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// "draining" 503.
 		}
 	}
-	j := s.addJob(spec, hash)
-	if err := s.queue.tryPush(j); err != nil {
+	cost := trialCost(spec)
+	if !s.admitRate(w, ts, cost) {
+		return
+	}
+	j := s.addJob(spec, hash, tenant, class)
+	if err := s.queue.tryPush(s.tenantCfg(tenant), j); err != nil {
 		s.removeJob(j.ID)
-		s.met.rejected.Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
-		writeError(w, http.StatusServiceUnavailable, err)
+		if ts != nil {
+			ts.refund(cost)
+		}
+		s.rejectPush(w, err, ts)
 		return
 	}
 	s.met.submitted.Inc()
 	s.met.kindCounter(spec.Analysis).Inc()
+	s.met.tenantAdmitted(tenant).Inc()
 	s.met.depth.Set(float64(s.queue.depth()))
-	if st := s.cfg.Store; st != nil {
-		s.storeErr(st.JobSubmitted(j.ID, spec, hash, time.Now()))
-	}
+	s.met.tenantDepth(tenant).Set(float64(s.queue.tenantDepth(tenant)))
+	s.persistSubmitted(j, time.Now())
 	s.enforceRetention(time.Now())
 	writeJSON(w, http.StatusAccepted, j.view(false))
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+// List pagination bounds.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request, ts *tenantState) {
+	q := r.URL.Query()
+	limit := defaultListLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest,
+				apiError(ErrBadArgument, errors.New("limit must be a positive integer")))
+			return
+		}
+		if n > maxListLimit {
+			n = maxListLimit
+		}
+		limit = n
+	}
+	stateFilter := q.Get("state")
+	if stateFilter != "" && !State(stateFilter).Terminal() &&
+		State(stateFilter) != StateQueued && State(stateFilter) != StateRunning {
+		writeError(w, http.StatusBadRequest,
+			apiError(ErrBadArgument, fmt.Errorf("unknown state %q", stateFilter)))
+		return
+	}
+	// Tenant scope: with a keyfile the listing is always the caller's own
+	// jobs, and naming any other tenant is refused; in single-tenant mode
+	// the tenant parameter is a free filter (operator tooling).
+	tenantFilter := q.Get("tenant")
+	if s.tenants != nil {
+		own := tenantID(ts)
+		if tenantFilter != "" && tenantFilter != own {
+			writeError(w, http.StatusForbidden,
+				apiError(ErrForbidden, fmt.Errorf("key is not tenant %q", tenantFilter)))
+			return
+		}
+		tenantFilter = own
+	}
+	token := q.Get("page_token")
 	// Snapshot under the lock, skipping ids whose jobs were evicted
 	// between the order copy and the map read — the list must stay
-	// stable (no gaps, no nils) while the retention policy runs.
+	// stable (no gaps, no nils) while the retention policy runs. s.order
+	// is submit-ordered and job IDs are zero-padded monotonics, so the
+	// page token — the last job ID of the previous page — resumes with a
+	// plain string comparison.
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.order))
 	for _, id := range s.order {
+		if token != "" && id <= token {
+			continue
+		}
 		if j := s.jobs[id]; j != nil {
 			jobs = append(jobs, j)
 		}
 	}
 	s.mu.Unlock()
-	views := make([]View, 0, len(jobs))
+	views := make([]View, 0, min(limit, len(jobs)))
+	next := ""
 	for _, j := range jobs {
-		views = append(views, j.view(false))
+		v := j.view(false)
+		if tenantFilter != "" && v.Tenant != tenantFilter {
+			continue
+		}
+		if stateFilter != "" && string(v.State) != stateFilter {
+			continue
+		}
+		if len(views) == limit {
+			// One past the page: there is more, so the page token is the
+			// last returned job's ID.
+			next = views[limit-1].ID
+			break
+		}
+		views = append(views, v)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+	resp := map[string]any{"jobs": views}
+	if next != "" {
+		resp["next_page_token"] = next
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	j := s.job(r.PathValue("id"))
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, ts *tenantState) {
+	j := s.jobForTenant(r.PathValue("id"), ts)
 	if j == nil {
-		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		writeError(w, http.StatusNotFound, apiError(ErrNotFound, errors.New("no such job")))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view(true))
 }
 
-func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j := s.job(r.PathValue("id"))
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request, ts *tenantState) {
+	j := s.jobForTenant(r.PathValue("id"), ts)
 	if j == nil {
-		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		writeError(w, http.StatusNotFound, apiError(ErrNotFound, errors.New("no such job")))
 		return
 	}
 	if j.requestCancel("cancelled by client") {
@@ -546,6 +805,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.view(true))
 }
 
+// handleHealth is liveness: the process is up and serving HTTP. It
+// reports state (including draining) but never fails for it — use
+// /readyz to take a draining or replaying instance out of rotation.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -562,14 +824,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleReady is readiness: 200 only when the server can usefully accept
+// work — journal replay finished and no drain in progress. Load
+// balancers poll this one; /healthz stays green through both conditions
+// so a draining instance is not killed mid-drain.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable,
+			apiError(ErrNotReady, errors.New("journal replay in progress")))
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable,
+			apiError(ErrNotReady, errors.New("server is draining")))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

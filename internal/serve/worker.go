@@ -11,15 +11,24 @@ import (
 	"repro/internal/variation"
 )
 
-// worker is one execution loop of the pool: it pops jobs off the bounded
-// queue until the queue closes (shutdown), running each under a per-job
-// context derived from the server's base context so both a client DELETE
-// and a drain deadline cancel it.
+// worker is one execution loop of the pool: it pops jobs off the
+// fair-share queue until the queue closes and drains (shutdown), running
+// each under a per-job context derived from the server's base context so
+// both a client DELETE and a drain deadline cancel it. Every pop is
+// paired with exactly one done() so the tenant's max_running slot is
+// released even when the job is skipped or panics.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue.ch {
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
 		s.met.depth.Set(float64(s.queue.depth()))
+		s.met.tenantDepth(j.tenant).Set(float64(s.queue.tenantDepth(j.tenant)))
+		s.met.tenantScheduled(j.tenant).Inc()
 		s.runJob(j)
+		s.queue.done(j)
 	}
 }
 
@@ -85,8 +94,20 @@ func (s *Server) runJob(j *Job) {
 		}()
 		res, err = s.cfg.Execute(ctx, j.Spec, opts)
 	}()
+	// Deliberately no tenant stamp inside the result document: cached
+	// results replay byte-identical across tenants, and the job view's
+	// owner-scoped tenant field is the only place ownership belongs — a
+	// cross-tenant cache hit must not reveal who computed the entry.
 	st := j.finish(res, err, time.Now())
 	s.met.finished(st)
+	// Completed-trial accounting feeds the fair-share share measurement:
+	// Monte-Carlo jobs count their completed trials, everything else
+	// counts 1 per finished job.
+	if res != nil && res.MC != nil {
+		s.met.tenantTrials(j.tenant).Add(int64(res.MC.Completed()))
+	} else if st == StateDone {
+		s.met.tenantTrials(j.tenant).Inc()
+	}
 	s.met.jobSecs.Observe(time.Since(submitted).Seconds())
 	s.observeJobDuration(time.Since(started))
 	s.persistTerminal(j)

@@ -27,7 +27,7 @@ func TestCheckpointReplayOnInterrupted(t *testing.T) {
 	s := mustOpen(t, dir, nil, Options{})
 	spec := testSpec(7)
 	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
-	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), t0); err != nil {
+	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), SubmitMeta{}, t0); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.JobRunning("job-000001", t0.Add(time.Second)); err != nil {
@@ -73,14 +73,14 @@ func TestCompactionPreservesLiveCheckpoints(t *testing.T) {
 
 	// A finished job to evict, plus a campaign mid-flight.
 	done := testSpec(1)
-	if err := s.JobSubmitted("job-000001", done, done.CanonicalHash(), t0); err != nil {
+	if err := s.JobSubmitted("job-000001", done, done.CanonicalHash(), SubmitMeta{}, t0); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.JobTerminal("job-000001", StateDone, "", []byte(`{"kind":"mc"}`), false, t0.Add(time.Second)); err != nil {
 		t.Fatal(err)
 	}
 	camp := testSpec(2)
-	if err := s.JobSubmitted("job-000002", camp, camp.CanonicalHash(), t0.Add(2*time.Second)); err != nil {
+	if err := s.JobSubmitted("job-000002", camp, camp.CanonicalHash(), SubmitMeta{}, t0.Add(2*time.Second)); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.JobRunning("job-000002", t0.Add(3*time.Second)); err != nil {
@@ -124,7 +124,7 @@ func TestEvictRefusesNonTerminal(t *testing.T) {
 	s := mustOpen(t, dir, reg, Options{CompactEvery: 1})
 	spec := testSpec(3)
 	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
-	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), t0); err != nil {
+	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), SubmitMeta{}, t0); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.JobRunning("job-000001", t0.Add(time.Second)); err != nil {
@@ -157,7 +157,7 @@ func TestTerminalShedsCheckpoints(t *testing.T) {
 	s := mustOpen(t, dir, nil, Options{})
 	spec := testSpec(4)
 	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
-	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), t0); err != nil {
+	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), SubmitMeta{}, t0); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.JobRunning("job-000001", t0.Add(time.Second)); err != nil {

@@ -75,6 +75,17 @@ type Options struct {
 	CompactEvery int
 }
 
+// SubmitMeta is the admission metadata journaled with a submitted
+// record: the owning tenant and the scheduling class the job was
+// admitted under. Replaying it is what lets a restarted server rebuild
+// per-tenant fair-share accounting and put every recovered job back in
+// its owner's weighted queue. Zero values mean the single-tenant,
+// default-class admission path.
+type SubmitMeta struct {
+	Tenant string
+	Class  string
+}
+
 // RecoveredJob is one job reconstructed from the journal at Open, in
 // submit order. State is one of Done/Failed/Cancelled (terminal, Result
 // loaded from its snapshot file when one exists), Queued (submitted but
@@ -85,6 +96,8 @@ type RecoveredJob struct {
 	ID        string
 	Spec      *jobspec.Spec
 	Hash      string
+	Tenant    string
+	Class     string
 	State     string
 	Submitted time.Time
 	Started   time.Time
@@ -112,7 +125,12 @@ type record struct {
 	State string        `json:"state"`
 	Spec  *jobspec.Spec `json:"spec,omitempty"`
 	Hash  string        `json:"hash,omitempty"`
-	Error string        `json:"error,omitempty"`
+	// Tenant and Class ride only on submitted records: the owning tenant
+	// and scheduling class the job was admitted under. They are what a
+	// restarted server replays to rebuild per-tenant fair-share state.
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class,omitempty"`
+	Error  string `json:"error,omitempty"`
 	// Cached marks a done record whose result was entered into the
 	// spec-hash cache, so replay rebuilds the cache exactly.
 	Cached bool `json:"cached,omitempty"`
@@ -130,6 +148,8 @@ type jobRec struct {
 	id        string
 	spec      *jobspec.Spec
 	hash      string
+	tenant    string
+	class     string
 	submitted time.Time
 	started   time.Time
 	state     string // "" until terminal
@@ -273,6 +293,7 @@ func (s *Store) replay() (dirty bool, err error) {
 		case StateSubmitted:
 			r := ensure(rec.Job)
 			r.spec, r.hash, r.submitted = rec.Spec, rec.Hash, rec.Time
+			r.tenant, r.class = rec.Tenant, rec.Class
 		case StateRunning:
 			ensure(rec.Job).started = rec.Time
 		case StateCheckpoint:
@@ -341,6 +362,7 @@ func (s *Store) buildRecovered() {
 		r := s.jobs[id]
 		rj := RecoveredJob{
 			ID: r.id, Spec: r.spec, Hash: r.hash,
+			Tenant: r.tenant, Class: r.class,
 			Submitted: r.submitted, Started: r.started, Finished: r.finished,
 			Error: r.errMsg,
 		}
@@ -391,8 +413,9 @@ func (s *Store) appendLocked(rec record) error {
 	return nil
 }
 
-// JobSubmitted journals a job's admission.
-func (s *Store) JobSubmitted(id string, spec *jobspec.Spec, hash string, t time.Time) error {
+// JobSubmitted journals a job's admission, including the tenant and
+// scheduling class it was admitted under (zero meta = single-tenant).
+func (s *Store) JobSubmitted(id string, spec *jobspec.Spec, hash string, meta SubmitMeta, t time.Time) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.jobs[id]; !ok {
@@ -404,8 +427,10 @@ func (s *Store) JobSubmitted(id string, spec *jobspec.Spec, hash string, t time.
 		s.jobs[id] = r
 	}
 	r.spec, r.hash, r.submitted = spec, hash, t
+	r.tenant, r.class = meta.Tenant, meta.Class
 	s.met.jobs.Set(float64(len(s.jobs)))
-	return s.appendLocked(record{Time: t, Job: id, State: StateSubmitted, Spec: spec, Hash: hash})
+	return s.appendLocked(record{Time: t, Job: id, State: StateSubmitted, Spec: spec, Hash: hash,
+		Tenant: meta.Tenant, Class: meta.Class})
 }
 
 // JobRunning journals a job's queued → running transition.
@@ -547,7 +572,8 @@ func (s *Store) compactLocked() error {
 	enc := json.NewEncoder(f)
 	for _, id := range s.order {
 		r := s.jobs[id]
-		recs := []record{{Time: r.submitted, Job: id, State: StateSubmitted, Spec: r.spec, Hash: r.hash}}
+		recs := []record{{Time: r.submitted, Job: id, State: StateSubmitted, Spec: r.spec, Hash: r.hash,
+			Tenant: r.tenant, Class: r.class}}
 		if !r.started.IsZero() {
 			recs = append(recs, record{Time: r.started, Job: id, State: StateRunning})
 		}

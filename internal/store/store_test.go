@@ -44,7 +44,7 @@ func TestStoreRoundTrip(t *testing.T) {
 	hash := spec.CanonicalHash()
 	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
 	result := []byte(`{"kind":"mc","seed":7,"elapsed":"1ms"}`)
-	if err := s.JobSubmitted("job-000001", spec, hash, t0); err != nil {
+	if err := s.JobSubmitted("job-000001", spec, hash, SubmitMeta{}, t0); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.JobRunning("job-000001", t0.Add(time.Second)); err != nil {
@@ -85,7 +85,7 @@ func TestStoreRecoveryClassification(t *testing.T) {
 	now := time.Now()
 
 	// done, queued (submitted only) and interrupted (running, no terminal).
-	if err := s.JobSubmitted("job-000001", testSpec(1), testSpec(1).CanonicalHash(), now); err != nil {
+	if err := s.JobSubmitted("job-000001", testSpec(1), testSpec(1).CanonicalHash(), SubmitMeta{}, now); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.JobRunning("job-000001", now); err != nil {
@@ -94,10 +94,10 @@ func TestStoreRecoveryClassification(t *testing.T) {
 	if err := s.JobTerminal("job-000001", StateFailed, "deck error", nil, false, now); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.JobSubmitted("job-000002", testSpec(2), testSpec(2).CanonicalHash(), now); err != nil {
+	if err := s.JobSubmitted("job-000002", testSpec(2), testSpec(2).CanonicalHash(), SubmitMeta{}, now); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.JobSubmitted("job-000003", testSpec(3), testSpec(3).CanonicalHash(), now); err != nil {
+	if err := s.JobSubmitted("job-000003", testSpec(3), testSpec(3).CanonicalHash(), SubmitMeta{}, now); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.JobRunning("job-000003", now); err != nil {
@@ -146,7 +146,7 @@ func TestStoreCacheSemantics(t *testing.T) {
 	if _, _, ok := s.CachedResult(hash); ok {
 		t.Fatal("empty store reported a cache hit")
 	}
-	if err := s.JobSubmitted("job-000001", spec, hash, now); err != nil {
+	if err := s.JobSubmitted("job-000001", spec, hash, SubmitMeta{}, now); err != nil {
 		t.Fatal(err)
 	}
 	// cacheable=false (e.g. a partial or no_cache run) must not populate.
@@ -157,7 +157,7 @@ func TestStoreCacheSemantics(t *testing.T) {
 		t.Fatal("non-cacheable terminal populated the cache")
 	}
 	// A cacheable run does.
-	if err := s.JobSubmitted("job-000002", spec, hash, now); err != nil {
+	if err := s.JobSubmitted("job-000002", spec, hash, SubmitMeta{}, now); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.JobTerminal("job-000002", StateDone, "", []byte(`{"kind":"mc"}`), true, now); err != nil {
@@ -184,7 +184,7 @@ func TestStoreEvictAndCompact(t *testing.T) {
 	ids := []string{"job-000001", "job-000002", "job-000003", "job-000004"}
 	for i, id := range ids {
 		spec := testSpec(uint64(i + 1))
-		if err := s.JobSubmitted(id, spec, spec.CanonicalHash(), now); err != nil {
+		if err := s.JobSubmitted(id, spec, spec.CanonicalHash(), SubmitMeta{}, now); err != nil {
 			t.Fatal(err)
 		}
 		if err := s.JobTerminal(id, StateDone, "", []byte(`{"i":`+id[len(id)-1:]+`}`), true, now); err != nil {
@@ -232,7 +232,7 @@ func TestStoreTornTailTolerated(t *testing.T) {
 	s := mustOpen(t, dir, nil, Options{})
 	now := time.Now()
 	spec := testSpec(9)
-	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), now); err != nil {
+	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), SubmitMeta{}, now); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.JobTerminal("job-000001", StateDone, "", []byte(`{"ok":true}`), true, now); err != nil {
@@ -258,7 +258,7 @@ func TestStoreTornTailTolerated(t *testing.T) {
 	// The open compacted the tear away: appends continue cleanly and a
 	// third open sees both jobs intact.
 	spec2 := testSpec(10)
-	if err := s2.JobSubmitted("job-000002", spec2, spec2.CanonicalHash(), now); err != nil {
+	if err := s2.JobSubmitted("job-000002", spec2, spec2.CanonicalHash(), SubmitMeta{}, now); err != nil {
 		t.Fatal(err)
 	}
 	s2.Close()
@@ -293,7 +293,7 @@ func TestStoreResultSnapshotDecodable(t *testing.T) {
 	}
 	spec := testSpec(3)
 	now := time.Now()
-	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), now); err != nil {
+	if err := s.JobSubmitted("job-000001", spec, spec.CanonicalHash(), SubmitMeta{}, now); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.JobTerminal("job-000001", StateDone, "", raw, true, now); err != nil {
