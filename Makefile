@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet doccheck docs build test race race-fault race-serve race-store race-batch race-shard race-campaign race-tenant loadgen-smoke bench-smoke bench bench-solver bench-sparse bench-sparse-smoke
+.PHONY: ci vet doccheck docs build test race race-fault race-serve race-store race-batch race-shard race-campaign race-tenant race-fleet loadgen-smoke bench-smoke bench bench-solver bench-sparse bench-sparse-smoke
 
-ci: vet doccheck docs build race race-fault race-serve race-store race-batch race-shard race-campaign race-tenant loadgen-smoke bench-smoke
+ci: vet doccheck docs build race race-fault race-serve race-store race-batch race-shard race-campaign race-tenant race-fleet loadgen-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -84,6 +84,16 @@ race-campaign:
 # disconnect, bounded batching).
 race-tenant:
 	$(GO) test -race -count=1 -run 'TestTenant|TestFairShare|TestTrialRate|TestBatch|TestList|TestReadyz|TestRestartFairShare|TestInteractive|TestEvent' ./internal/serve/
+
+# The fleet-federation paths under the race detector: tenant-
+# authenticated and timed-out shard dispatch (auth vs unreachable
+# fallback accounting, hung-peer goroutine hygiene), cross-node job
+# forwarding with the hop guard, probe-driven quarantine and recovery,
+# fleet-wide max_running, and the two-node kill-and-failover acceptance
+# run proving an adopted campaign resumes from the dead node's journal
+# bit-identical to an uninterrupted one.
+race-fleet:
+	$(GO) test -race -count=1 -run 'TestFleet|TestShardDispatch|TestShardedCampaignPeerDispatch|TestShardPeerFallbackLocal' ./internal/serve/
 
 # Harness-rot check for cmd/loadgen: one short open-loop stage against
 # an in-process server, asserting the BENCH_9 driver still runs end to

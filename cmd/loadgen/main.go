@@ -16,6 +16,13 @@
 //
 //	go run ./cmd/loadgen -addr 127.0.0.1:8080 -key-a k-acme -key-b k-beta
 //
+// Against a relsim fleet, -addrs takes a comma-separated node list and
+// the driver round-robins every request — submits and event streams
+// alike — across the nodes, relying on fleet forwarding to resolve a
+// job submitted on one node from any other:
+//
+//	go run ./cmd/loadgen -addrs 127.0.0.1:8080,127.0.0.1:8081 -key-a k-acme -key-b k-beta
+//
 // The driver is open-loop: arrivals are scheduled by a clock, not by
 // responses, so saturation shows up as queueing latency and structured
 // 429/503 rejections rather than as a slowed-down driver.
@@ -141,9 +148,24 @@ type reportJSON struct {
 
 var seedCounter atomic.Int64
 
+// targetPool rotates requests across the configured server addresses —
+// one address in single-server mode, every node of a fleet with -addrs.
+// Submits and the event streams that follow them deliberately land on
+// independent rotations, so a fleet run exercises cross-node forwarding
+// on roughly (n-1)/n of the follow-ups.
+type targetPool struct {
+	addrs []string
+	n     atomic.Int64
+}
+
+func (p *targetPool) next() string {
+	return p.addrs[int(p.n.Add(1)-1)%len(p.addrs)]
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", "", "host:port of a running relsim server (empty: start one in-process)")
+		addrs    = flag.String("addrs", "", "comma-separated host:port list of fleet nodes; requests round-robin across them (overrides -addr)")
 		self     = flag.Bool("self", false, "force the in-process server even if -addr is set")
 		keyA     = flag.String("key-a", "k-acme", "API key of the weight-3 tenant")
 		keyB     = flag.String("key-b", "k-beta", "API key of the weight-1 tenant")
@@ -171,9 +193,21 @@ func main() {
 		mults = append(mults, m)
 	}
 
-	target := *addr
-	if target == "" || *self {
-		target = startSelfServer(*workers, *queue, *maxQ, tenants)
+	pool := &targetPool{}
+	if *addrs != "" && !*self {
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				pool.addrs = append(pool.addrs, a)
+			}
+		}
+		if len(pool.addrs) == 0 {
+			log.Fatalf("loadgen: -addrs lists no addresses")
+		}
+		log.Printf("fleet target: round-robin across %d node(s)", len(pool.addrs))
+	} else if *addr != "" && !*self {
+		pool.addrs = []string{*addr}
+	} else {
+		pool.addrs = []string{startSelfServer(*workers, *queue, *maxQ, tenants)}
 	}
 	client := &http.Client{
 		Timeout: 30 * time.Second,
@@ -192,7 +226,7 @@ func main() {
 		},
 	}
 
-	capacity := calibrate(client, streamer, target, tenants[0], *trials, *workers)
+	capacity := calibrate(client, streamer, pool, tenants[0], *trials, *workers)
 	log.Printf("calibrated capacity: %.1f jobs/s (%d workers, %d trials/job)", capacity, *workers, *trials)
 
 	rep := reportJSON{
@@ -211,7 +245,7 @@ func main() {
 	}
 	for _, m := range mults {
 		log.Printf("stage %gx: offering %.1f jobs/s for %s", m, m*capacity, *stageDur)
-		st := runStage(client, streamer, target, tenants, m, capacity, *stageDur, *trials)
+		st := runStage(client, streamer, pool, tenants, m, capacity, *stageDur, *trials)
 		rep.Stages = append(rep.Stages, st)
 		log.Printf("stage %gx: offered %d accepted %d 429 %d 503 %d completed %d p99 %.0fms",
 			m, st.Offered, st.Accepted, st.Rejected429, st.Rejected503, st.Completed, st.LatencyMS.P99)
@@ -290,16 +324,16 @@ func specBody(trials int) []byte {
 // the host actually delivers (on a single-core host two workers do NOT
 // double throughput — a sequential measurement scaled by the worker
 // count would set every stage's offered load far above its multiplier).
-func calibrate(c, sc *http.Client, addr string, tp tenantPlan, trials, workers int) float64 {
+func calibrate(c, sc *http.Client, pool *targetPool, tp tenantPlan, trials, workers int) float64 {
 	// One warmup job to populate solver and HTTP connection caches.
-	if id, status, _ := submitJob(c, addr, tp.key, trials); status == 202 {
-		waitTerminal(sc, addr, tp.key, id, 60*time.Second)
+	if id, status, _ := submitJob(c, pool.next(), tp.key, trials); status == 202 {
+		waitTerminal(sc, pool.next(), tp.key, id, 60*time.Second)
 	}
 	const burst = 10 // within the tenant's max_queued quota
 	ids := make([]string, 0, burst)
 	start := time.Now()
 	for i := 0; i < burst; i++ {
-		id, status, _ := submitJob(c, addr, tp.key, trials)
+		id, status, _ := submitJob(c, pool.next(), tp.key, trials)
 		if status != 202 {
 			log.Fatalf("loadgen: calibration submit got HTTP %d", status)
 		}
@@ -312,7 +346,7 @@ func calibrate(c, sc *http.Client, addr string, tp tenantPlan, trials, workers i
 		wg.Add(1)
 		go func(id string) {
 			defer wg.Done()
-			if waitTerminal(sc, addr, tp.key, id, 120*time.Second) {
+			if waitTerminal(sc, pool.next(), tp.key, id, 120*time.Second) {
 				mu.Lock()
 				done++
 				mu.Unlock()
@@ -328,7 +362,7 @@ func calibrate(c, sc *http.Client, addr string, tp tenantPlan, trials, workers i
 
 // runStage offers mult×capacity jobs/s for dur, half to each tenant,
 // then waits for every accepted job to reach a terminal state.
-func runStage(c, sc *http.Client, addr string, tenants []tenantPlan, mult, capacity float64, dur time.Duration, trials int) stageJSON {
+func runStage(c, sc *http.Client, pool *targetPool, tenants []tenantPlan, mult, capacity float64, dur time.Duration, trials int) stageJSON {
 	perTenantRate := mult * capacity / float64(len(tenants))
 	interval := time.Duration(float64(time.Second) / perTenantRate)
 	if interval <= 0 {
@@ -357,7 +391,7 @@ func runStage(c, sc *http.Client, addr string, tenants []tenantPlan, mult, capac
 				go func() {
 					defer reqs.Done()
 					for range arrivals {
-						oneRequest(c, sc, addr, tp, st, trials, windowEnd, &waiters)
+						oneRequest(c, sc, pool, tp, st, trials, windowEnd, &waiters)
 					}
 				}()
 			}
@@ -426,9 +460,9 @@ func runStage(c, sc *http.Client, addr string, tenants []tenantPlan, mult, capac
 // oneRequest submits one job and, if accepted, follows it to a terminal
 // state on a separate goroutine (so the submitter pool slot frees
 // immediately), recording the submit-to-terminal latency.
-func oneRequest(c, sc *http.Client, addr string, tp tenantPlan, st *stats, trials int, windowEnd time.Time, waiters *sync.WaitGroup) {
+func oneRequest(c, sc *http.Client, pool *targetPool, tp tenantPlan, st *stats, trials int, windowEnd time.Time, waiters *sync.WaitGroup) {
 	start := time.Now()
-	id, status, err := submitJob(c, addr, tp.key, trials)
+	id, status, err := submitJob(c, pool.next(), tp.key, trials)
 	st.lock(func() { st.offered++ })
 	switch {
 	case err != nil:
@@ -449,7 +483,7 @@ func oneRequest(c, sc *http.Client, addr string, tp tenantPlan, st *stats, trial
 	waiters.Add(1)
 	go func() {
 		defer waiters.Done()
-		if waitTerminal(sc, addr, tp.key, id, 120*time.Second) {
+		if waitTerminal(sc, pool.next(), tp.key, id, 120*time.Second) {
 			lat := time.Since(start)
 			inWin := time.Now().Before(windowEnd)
 			st.lock(func() {

@@ -83,6 +83,19 @@
 //
 //	relsim -serve :8080 -peers http://host2:8080,http://host3:8080
 //
+// Fleet mode: -fleet fleet.json federates several relsim servers into
+// one service. The config names every node (id, base URL, data dir) and
+// a shared fleet key; each node prefixes its job IDs with its own id,
+// forwards GET/DELETE /v1/jobs/{id} and the events stream to the owning
+// node, places campaign shards on the healthiest least-loaded node
+// (dead peers are quarantined with exponential backoff and probed back
+// in), enforces tenant max_running quotas fleet-wide, and — when a peer
+// stays dead past the takeover threshold and its data_dir is reachable —
+// adopts that peer's interrupted campaigns by replaying its journal and
+// resuming from the last merged chunk checkpoint:
+//
+//	relsim -serve :8080 -data-dir /srv/relsim/a -tenants keys.json -fleet fleet.json
+//
 // Observability: -progress streams one instrument snapshot line per second
 // to stderr (trial count and latency quantiles, Newton iterations, aging
 // checkpoints), and -metrics-addr serves the full instrument registry over
@@ -166,11 +179,12 @@ func main() {
 		keepAge   = flag.Duration("keep-age", 0, "serve: evict terminal jobs older than this (0 = no age bound)")
 		peers     = flag.String("peers", "", "serve: comma-separated peer server URLs to dispatch campaign shards to (mc.shards > 1); a dead peer falls back to local execution")
 		tenants   = flag.String("tenants", "", "serve: tenant keyfile ({\"tenants\":[{\"id\",\"key\",\"weight\",...}]}); enables API-key auth, per-tenant quotas and weighted fair-share scheduling")
+		fleetFile = flag.String("fleet", "", "serve: fleet config ({\"self\",\"key\",\"nodes\":[{\"id\",\"url\",\"data_dir\"}]}); federates this server with the listed nodes (overrides -peers)")
 	)
 	flag.Parse()
 
 	if *serveAddr != "" {
-		runServe(*serveAddr, *queue, *workers, *timeout, *drain, *metrics, *progress, *dataDir, *keepJobs, *keepAge, splitList(*peers), *tenants)
+		runServe(*serveAddr, *queue, *workers, *timeout, *drain, *metrics, *progress, *dataDir, *keepJobs, *keepAge, splitList(*peers), *tenants, *fleetFile)
 		return
 	}
 	if *netFile == "" {

@@ -29,8 +29,11 @@ import (
 // jobs failed with a structured cause. With -peers, campaign shards
 // (mc.shards > 1) are dispatched to peer relsim servers. With -tenants,
 // the API requires per-tenant keys and schedules tenants by weighted
-// fair share under their configured quotas.
-func runServe(addr string, queueDepth, workers int, defaultTimeout, drain time.Duration, metricsAddr string, progress bool, dataDir string, keepJobs int, keepAge time.Duration, peers []string, tenantsFile string) {
+// fair share under their configured quotas. With -fleet, the server
+// federates with the configured nodes: forwarded job lookups, health-
+// probed shard placement, fleet-wide max_running and journal-replay
+// failover for dead peers.
+func runServe(addr string, queueDepth, workers int, defaultTimeout, drain time.Duration, metricsAddr string, progress bool, dataDir string, keepJobs int, keepAge time.Duration, peers []string, tenantsFile, fleetFile string) {
 	reg := obs.NewRegistry()
 	core.EnableMetrics(reg)
 
@@ -42,6 +45,16 @@ func runServe(addr string, queueDepth, workers int, defaultTimeout, drain time.D
 			log.Fatalf("serve: %v", err)
 		}
 		log.Printf("multi-tenant mode: %d tenant(s) from %s", len(tenantCfgs), tenantsFile)
+	}
+
+	var fleetCfg *serve.FleetConfig
+	if fleetFile != "" {
+		var err error
+		fleetCfg, err = serve.LoadFleet(fleetFile)
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		log.Printf("fleet mode: node %s of %d from %s", fleetCfg.Self, len(fleetCfg.Nodes), fleetFile)
 	}
 
 	var st *store.Store
@@ -83,6 +96,7 @@ func runServe(addr string, queueDepth, workers int, defaultTimeout, drain time.D
 		MaxTerminalAge:  keepAge,
 		Peers:           peers,
 		Tenants:         tenantCfgs,
+		Fleet:           fleetCfg,
 	})
 
 	// Listen synchronously so a bad address or busy port is a startup

@@ -154,7 +154,7 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request, ts *t
 	queued := make(map[int]*Job, len(toRun))
 	jobsToPush := make([]*Job, 0, len(toRun))
 	for _, i := range toRun {
-		j := s.addJob(batch.Specs[i], hashes[i], tenant, class)
+		j := s.addJob(batch.Specs[i], hashes[i], tenant, class, false)
 		queued[i] = j
 		jobsToPush = append(jobsToPush, j)
 	}

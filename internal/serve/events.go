@@ -25,8 +25,12 @@ const maxEventBatch = 256
 // socket is disconnected after Config.EventWriteTimeout rather than
 // parking the handler goroutine (and its event buffer) forever.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, ts *tenantState) {
-	j := s.jobForTenant(r.PathValue("id"), ts)
+	id := r.PathValue("id")
+	j := s.jobForTenant(id, ts)
 	if j == nil {
+		if s.forwardJob(w, r, id, ts) {
+			return
+		}
 		writeError(w, http.StatusNotFound, apiError(ErrNotFound, errors.New("no such job")))
 		return
 	}

@@ -1,0 +1,731 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobspec"
+	"repro/internal/obs"
+)
+
+// --- raw-URL helpers (fleet tests address servers by base URL, which
+// must be known before the server starts, so httptest.NewServer's
+// after-the-fact URL does not fit) ---
+
+// serveOn mounts a server on a pre-created listener and returns its base
+// URL. The listener is closed by the caller (some tests close it early,
+// on purpose — that is the failure under test).
+func serveOn(ln net.Listener, s *Server) string {
+	go func() { _ = http.Serve(ln, s) }()
+	return "http://" + ln.Addr().String()
+}
+
+func doURL(t *testing.T, method, url, key string, body []byte, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding body: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+func submitURL(t *testing.T, base, key string, spec *jobspec.Spec) View {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v View
+	resp := doURL(t, "POST", base+"/v1/jobs", key, body, &v)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit to %s: status %d, want 202", base, resp.StatusCode)
+	}
+	return v
+}
+
+func getURL(t *testing.T, base, key, id string) (View, int) {
+	t.Helper()
+	req, err := http.NewRequest("GET", base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+func waitTerminalURL(t *testing.T, base, key, id string) View {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		v, status := getURL(t, base, key, id)
+		if status == http.StatusOK && v.State.Terminal() {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still not terminal via %s (status %d, state %s)", id, base, status, v.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// --- satellite 1: shard dispatch must carry the submitting tenant's
+// credential ---
+
+// TestShardDispatchTenantAuth runs a sharded campaign between two
+// legacy-peer servers that BOTH require tenant keys: the dispatch path
+// must authenticate every shard sub-job (submit, poll, cleanup) as the
+// submitting tenant, so every shard lands on the peer — zero fallbacks —
+// and the merged moments stay bit-identical to an unsharded run. Before
+// the fix, dispatchShard sent only Content-Type, the peer 401'd every
+// shard, and the campaign silently degraded to all-local execution.
+func TestShardDispatchTenantAuth(t *testing.T) {
+	regPeer := obs.NewRegistry()
+	_, tsPeer := newTestServer(t, Config{
+		QueueDepth: 16, Workers: 2, Registry: regPeer, Tenants: twoTenants(),
+	})
+
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{
+		QueueDepth: 4, Workers: 1, Registry: reg, Tenants: twoTenants(),
+		Peers: []string{tsPeer.URL},
+	})
+
+	spec := mcSpec(96)
+	spec.Seed = 51
+	spec.MC.Shards = 4
+	_, v := submitAs(t, ts, "k-acme", spec)
+	fin := waitTerminalAs(t, ts, "k-acme", v.ID)
+	if fin.State != StateDone {
+		t.Fatalf("sharded campaign = %s (error %q), want done", fin.State, fin.Error)
+	}
+	if n, _ := reg.Snapshot().Counter("serve_shards_dispatched_total"); n != 4 {
+		t.Errorf("serve_shards_dispatched_total = %d, want 4 (tenant credential not propagated?)", n)
+	}
+	if n, _ := reg.Snapshot().Counter("serve_shard_fallbacks_total"); n != 0 {
+		t.Errorf("serve_shard_fallbacks_total = %d, want 0", n)
+	}
+	// The peer owns the sub-jobs under the originating tenant.
+	if n, _ := regPeer.Snapshot().Counter("serve_tenant_acme_admitted_total"); n != 4 {
+		t.Errorf("peer admitted %d acme sub-jobs, want 4", n)
+	}
+
+	var got jobspec.Result
+	if err := json.Unmarshal(fin.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	ref := mcSpec(96)
+	ref.Seed = 51
+	ref.ApplyDefaults()
+	want, err := jobspec.Execute(context.Background(), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MC.Stats.Moments != want.MC.Stats.Moments {
+		t.Errorf("tenant-authenticated sharded moments\n%+v\ndiffer from the unsharded run's\n%+v",
+			got.MC.Stats.Moments, want.MC.Stats.Moments)
+	}
+}
+
+// TestShardDispatchAuthRejectionCounted: when the peer demands keys the
+// dispatching server cannot supply, the campaign must still complete by
+// local fallback — and the fallbacks must be counted as auth rejections,
+// distinct from unreachable peers, so the operator sees a key problem,
+// not a network one.
+func TestShardDispatchAuthRejectionCounted(t *testing.T) {
+	_, tsPeer := newTestServer(t, Config{QueueDepth: 16, Workers: 2, Tenants: twoTenants()})
+
+	// The origin runs single-tenant: it has no credential to attach.
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{
+		QueueDepth: 4, Workers: 1, Registry: reg, Peers: []string{tsPeer.URL},
+	})
+
+	spec := mcSpec(48)
+	spec.Seed = 52
+	spec.MC.Shards = 2
+	_, v := submit(t, ts, spec)
+	fin := waitTerminal(t, ts, v.ID)
+	if fin.State != StateDone {
+		t.Fatalf("campaign = %s (error %q), want local-fallback done", fin.State, fin.Error)
+	}
+	var got jobspec.Result
+	if err := json.Unmarshal(fin.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.MC == nil || got.MC.Completed() != 48 {
+		t.Fatalf("fallback campaign = %+v, want 48 completed trials", got.MC)
+	}
+	snap := reg.Snapshot()
+	if n, _ := snap.Counter("serve_shard_fallbacks_total"); n != 2 {
+		t.Errorf("serve_shard_fallbacks_total = %d, want 2", n)
+	}
+	if n, _ := snap.Counter("serve_shard_fallbacks_auth_total"); n != 2 {
+		t.Errorf("serve_shard_fallbacks_auth_total = %d, want 2", n)
+	}
+	if n, _ := snap.Counter("serve_shard_fallbacks_unreachable_total"); n != 0 {
+		t.Errorf("serve_shard_fallbacks_unreachable_total = %d, want 0", n)
+	}
+}
+
+// --- satellite 2: dispatch timeouts ---
+
+// TestShardDispatchHungPeer points Peers at a listener that accepts TCP
+// and then never answers — the failure mode http.DefaultClient (no
+// timeout) turned into a worker goroutine parked forever. With
+// ShardHTTPTimeout the dispatch must time out, fall back locally
+// (counted as unreachable), finish the campaign, and leak no goroutines.
+func TestShardDispatchHungPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold every connection open, answer nothing
+		}
+	}()
+
+	baseline := runtime.NumGoroutine()
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{
+		QueueDepth: 4, Workers: 1, Registry: reg,
+		Peers:            []string{"http://" + ln.Addr().String()},
+		ShardHTTPTimeout: 300 * time.Millisecond,
+	})
+
+	spec := mcSpec(48)
+	spec.Seed = 53
+	spec.MC.Shards = 2
+	start := time.Now()
+	_, v := submit(t, ts, spec)
+	fin := waitTerminal(t, ts, v.ID)
+	if fin.State != StateDone {
+		t.Fatalf("campaign = %s (error %q), want local-fallback done", fin.State, fin.Error)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Errorf("campaign took %s against a hung peer; the timeout did not bite", elapsed)
+	}
+	snap := reg.Snapshot()
+	if n, _ := snap.Counter("serve_shard_fallbacks_unreachable_total"); n != 2 {
+		t.Errorf("serve_shard_fallbacks_unreachable_total = %d, want 2", n)
+	}
+	if n, _ := snap.Counter("serve_shard_fallbacks_auth_total"); n != 0 {
+		t.Errorf("serve_shard_fallbacks_auth_total = %d, want 0", n)
+	}
+
+	// No goroutine may stay parked on the hung sockets.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline+15 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d now vs baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// --- fleet federation ---
+
+// twoNodeFleet builds the shared two-node fleet table. Probe pacing is
+// set to an hour so the background prober never interferes: tests drive
+// probeFleet by hand with a synthetic clock for determinism.
+func twoNodeFleet(self, urlA, urlB, dirA, dirB string) *FleetConfig {
+	return &FleetConfig{
+		Self: self,
+		Key:  "k-fleet",
+		Nodes: []FleetNode{
+			{ID: "a", URL: urlA, DataDir: dirA},
+			{ID: "b", URL: urlB, DataDir: dirB},
+		},
+		ProbeEvery:    jobspec.Duration(time.Hour),
+		QuarantineMax: jobspec.Duration(time.Hour),
+		TakeoverAfter: 2,
+	}
+}
+
+// TestFleetForwarding: a job submitted on node A is answered by node B —
+// poll, events stream and cancel all forward to the owner resolved from
+// the ID prefix — while the hop guard keeps an unknown ID at one extra
+// hop (404, no loop) and cross-tenant probing stays a 404 through the
+// forwarder.
+func TestFleetForwarding(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+
+	regA, regB := obs.NewRegistry(), obs.NewRegistry()
+	sA := NewServer(Config{QueueDepth: 8, Workers: 1, Registry: regA, Tenants: twoTenants(),
+		Fleet: twoNodeFleet("a", urlA, urlB, "", "")})
+	sB := NewServer(Config{QueueDepth: 8, Workers: 1, Registry: regB, Tenants: twoTenants(),
+		Fleet: twoNodeFleet("b", urlA, urlB, "", "")})
+	serveOn(lnA, sA)
+	serveOn(lnB, sB)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = sA.Shutdown(ctx)
+		_ = sB.Shutdown(ctx)
+		lnA.Close()
+		lnB.Close()
+	})
+
+	v := submitURL(t, urlA, "k-acme", mcSpec(8))
+	if ownerFromID(v.ID) != "a" {
+		t.Fatalf("job id %q does not carry the owner prefix", v.ID)
+	}
+
+	// Poll through B: forwarded to A, answered 200.
+	fin := waitTerminalURL(t, urlB, "k-acme", v.ID)
+	if fin.State != StateDone {
+		t.Fatalf("forwarded job = %s, want done", fin.State)
+	}
+	if n, _ := regB.Snapshot().Counter("serve_fleet_forwards_total"); n == 0 {
+		t.Error("B answered A's job without forwarding")
+	}
+
+	// The events stream forwards too, ending with the terminal event.
+	req, err := http.NewRequest("GET", urlB+"/v1/jobs/"+v.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer k-acme")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded events stream: status %d", resp.StatusCode)
+	}
+	var lastType string
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			break
+		}
+		lastType = ev.Type
+	}
+	resp.Body.Close()
+	if lastType != "done" {
+		t.Errorf("forwarded stream ended with %q, want done", lastType)
+	}
+
+	// Cross-tenant access stays a 404 through the forwarder: B forwards
+	// with the caller's tenant scope, and A refuses to leak acme's job to
+	// beta exactly as it would locally.
+	if _, status := getURL(t, urlB, "k-beta", v.ID); status != http.StatusNotFound {
+		t.Errorf("cross-tenant forwarded GET: status %d, want 404", status)
+	}
+
+	// Hop guard: an ID no node holds costs one forward each way, never a
+	// loop — B asks owner A, A answers 404 without re-forwarding.
+	if _, status := getURL(t, urlB, "k-acme", "a-job-999999"); status != http.StatusNotFound {
+		t.Errorf("unknown fleet job: status %d, want 404", status)
+	}
+	// An unprefixed ID resolves to no owner and dies locally.
+	if _, status := getURL(t, urlB, "k-acme", "nope"); status != http.StatusNotFound {
+		t.Errorf("unprefixed id: status %d, want 404", status)
+	}
+}
+
+// TestFleetQuarantineRecovery drives the probe state machine by hand: a
+// dead node is quarantined with growing backoff (no hammering — a probe
+// inside the backoff window is skipped), and a recovered node is probed
+// back to healthy, resuming placement eligibility.
+func TestFleetQuarantineRecovery(t *testing.T) {
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := lnB.Addr().String()
+	urlB := "http://" + addrB
+
+	regA, regB := obs.NewRegistry(), obs.NewRegistry()
+	// A's own URL is never dialed by A; a placeholder keeps the table valid.
+	sA := NewServer(Config{QueueDepth: 8, Workers: 1, Registry: regA,
+		Fleet: twoNodeFleet("a", "http://127.0.0.1:1", urlB, "", "")})
+	sB := NewServer(Config{QueueDepth: 8, Workers: 1, Registry: regB,
+		Fleet: twoNodeFleet("b", "http://127.0.0.1:1", urlB, "", "")})
+	serveOn(lnB, sB)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = sA.Shutdown(ctx)
+		_ = sB.Shutdown(ctx)
+		lnB.Close()
+	})
+
+	now := time.Now()
+	sA.probeFleet(now)
+	if got := sA.met.fleetHealthy.Value(); got != 2 {
+		t.Fatalf("healthy nodes after first probe = %v, want 2", got)
+	}
+
+	// Kill B's listener: the next due probe fails and quarantines it.
+	lnB.Close()
+	sA.probeFleet(now.Add(3 * time.Hour))
+	if got := sA.met.fleetHealthy.Value(); got != 1 {
+		t.Fatalf("healthy nodes after kill = %v, want 1", got)
+	}
+	fails, _ := regA.Snapshot().Counter("serve_fleet_probe_failures_total")
+	if fails != 1 {
+		t.Fatalf("probe failures = %d, want 1", fails)
+	}
+
+	// Inside the backoff window the quarantined node is NOT re-probed.
+	before, _ := regA.Snapshot().Counter("serve_fleet_probes_total")
+	sA.probeFleet(now.Add(3*time.Hour + time.Second))
+	if after, _ := regA.Snapshot().Counter("serve_fleet_probes_total"); after != before {
+		t.Errorf("quarantined node probed inside its backoff window (%d -> %d)", before, after)
+	}
+
+	// B comes back on the same address; the next due probe recovers it.
+	lnB2, err := net.Listen("tcp", addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnB2.Close()
+	serveOn(lnB2, sB)
+	sA.probeFleet(now.Add(6 * time.Hour))
+	if got := sA.met.fleetHealthy.Value(); got != 2 {
+		t.Fatalf("healthy nodes after recovery = %v, want 2", got)
+	}
+	sA.fleet.mu.Lock()
+	p := sA.fleet.peers["b"]
+	healthy, consec := p.healthy, p.fails
+	sA.fleet.mu.Unlock()
+	if !healthy || consec != 0 {
+		t.Errorf("recovered peer healthy=%v fails=%d, want true/0", healthy, consec)
+	}
+}
+
+// TestFleetKillAndFailoverResume is the two-node acceptance run, under
+// -race via `make race-fleet`: a campaign freezes mid-run on its owning
+// node B while node A, seeing B's running job through the probes,
+// enforces the tenant's fleet-wide max_running=1 by holding its own acme
+// job queued. Then B dies (listener closed, worker still frozen — a
+// hang, the worst kind of death) and after TakeoverAfter failed probes A
+// adopts B's job from B's journal, resumes it from the last merged chunk
+// checkpoint, and finishes it bit-identical to an uninterrupted
+// single-node run — after which A's own job, no longer capped by B's
+// phantom load, runs too.
+func TestFleetKillAndFailoverResume(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+	tenants := []TenantConfig{
+		{ID: "acme", Key: "k-acme", Weight: 1, MaxRunning: 1},
+	}
+
+	regA := obs.NewRegistry()
+	stA := mustStore(t, dirA, regA)
+	sA := NewServer(Config{QueueDepth: 8, Workers: 1, Store: stA, Registry: regA,
+		Tenants: tenants, Fleet: twoNodeFleet("a", urlA, urlB, dirA, dirB)})
+	serveOn(lnA, sA)
+
+	// B's executor runs the real engine but freezes inside the checkpoint
+	// hook after chunk 1 is journaled — the moment a death hurts most.
+	const trials = 96 // chunk size 24 → a 4-chunk campaign
+	frozen := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	execB := func(ctx context.Context, sp *jobspec.Spec, opts jobspec.Options) (*jobspec.Result, error) {
+		inner := opts.OnCheckpoint
+		opts.OnCheckpoint = func(cp jobspec.Checkpoint) {
+			if inner != nil {
+				inner(cp)
+			}
+			if cp.Seq == 1 {
+				once.Do(func() { close(frozen) })
+				<-release
+			}
+		}
+		return jobspec.ExecuteOpts(ctx, sp, opts)
+	}
+	regB := obs.NewRegistry()
+	stB := mustStore(t, dirB, regB)
+	sB := NewServer(Config{QueueDepth: 8, Workers: 1, Store: stB, Registry: regB,
+		Tenants: tenants, Fleet: twoNodeFleet("b", urlA, urlB, dirA, dirB), Execute: execB})
+	serveOn(lnB, sB)
+
+	t.Cleanup(func() {
+		close(release)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = sA.Shutdown(ctx)
+		_ = sB.Shutdown(ctx)
+		lnA.Close()
+		lnB.Close()
+		stA.Close()
+		stB.Close()
+	})
+
+	spec := mcSpec(trials)
+	spec.Seed = 61
+	vB := submitURL(t, urlB, "k-acme", spec)
+	if ownerFromID(vB.ID) != "b" {
+		t.Fatalf("job id %q not owned by b", vB.ID)
+	}
+	select {
+	case <-frozen:
+	case <-time.After(30 * time.Second):
+		t.Fatal("campaign never journaled its second checkpoint")
+	}
+
+	// A probes B healthy and sees acme running one job fleet-wide.
+	now := time.Now()
+	sA.probeFleet(now)
+	if n := sA.fleet.runningFor("acme"); n != 1 {
+		t.Fatalf("fleet-wide acme running = %d, want 1", n)
+	}
+
+	// Fleet-wide max_running: A's own acme job must hold in the queue
+	// while B runs the tenant's one slot.
+	vA := submitURL(t, urlA, "k-acme", mcSpec(8))
+	time.Sleep(300 * time.Millisecond)
+	if v, _ := getURL(t, urlA, "k-acme", vA.ID); v.State != StateQueued {
+		t.Fatalf("A's job = %s while B holds acme's fleet-wide slot, want queued", v.State)
+	}
+
+	// Kill B: the listener dies, the frozen worker keeps holding the job —
+	// exactly what a survivor sees when a peer hangs or loses power.
+	lnB.Close()
+
+	// Two failed probe rounds cross TakeoverAfter=2; A (lowest live ID)
+	// adopts B's unfinished campaign from B's journal.
+	sA.probeFleet(now.Add(3 * time.Hour))
+	sA.probeFleet(now.Add(6 * time.Hour))
+	if n, _ := regA.Snapshot().Counter("serve_fleet_takeovers_total"); n != 1 {
+		t.Fatalf("serve_fleet_takeovers_total = %d, want 1", n)
+	}
+	if n, _ := regA.Snapshot().Counter("serve_jobs_resumed_total"); n != 1 {
+		t.Errorf("serve_jobs_resumed_total = %d, want 1 (adoption should resume from checkpoints)", n)
+	}
+
+	// The adopted campaign finishes on A, resumed from B's checkpoints,
+	// bit-identical to an uninterrupted run.
+	fin := waitTerminalURL(t, urlA, "k-acme", vB.ID)
+	if fin.State != StateDone {
+		t.Fatalf("adopted campaign = %s (error %q), want done", fin.State, fin.Error)
+	}
+	var got jobspec.Result
+	if err := json.Unmarshal(fin.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.MC == nil || got.MC.Stats == nil {
+		t.Fatalf("adopted result carries no campaign stats: %+v", got.MC)
+	}
+	if got.MC.Resumed != 2 {
+		t.Errorf("adopted campaign resumed %d chunks, want the 2 B journaled", got.MC.Resumed)
+	}
+	if got.MC.Completed() != trials {
+		t.Errorf("adopted campaign completed %d trials, want %d", got.MC.Completed(), trials)
+	}
+	ref := mcSpec(trials)
+	ref.Seed = 61
+	ref.ApplyDefaults()
+	want, err := jobspec.Execute(context.Background(), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MC.Stats.Moments != want.MC.Stats.Moments {
+		t.Errorf("failover-resumed moments\n%+v\ndiffer from the uninterrupted run's\n%+v",
+			got.MC.Stats.Moments, want.MC.Stats.Moments)
+	}
+
+	// With B dead its phantom load no longer counts: A's own acme job got
+	// the fleet-wide slot back and finished.
+	finA := waitTerminalURL(t, urlA, "k-acme", vA.ID)
+	if finA.State != StateDone {
+		t.Errorf("A's queued job = %s after failover, want done", finA.State)
+	}
+}
+
+// TestFleetShardPlacement: fleet placement sends shards to the probed
+// least-backlog node instead of the blind rotation — and with every peer
+// quarantined it keeps everything local without a single dispatch
+// attempt.
+func TestFleetShardPlacement(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+
+	regA, regB := obs.NewRegistry(), obs.NewRegistry()
+	sA := NewServer(Config{QueueDepth: 16, Workers: 1, Registry: regA, Tenants: twoTenants(),
+		Fleet: twoNodeFleet("a", urlA, urlB, "", "")})
+	sB := NewServer(Config{QueueDepth: 16, Workers: 2, Registry: regB, Tenants: twoTenants(),
+		Fleet: twoNodeFleet("b", urlA, urlB, "", "")})
+	serveOn(lnA, sA)
+	serveOn(lnB, sB)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = sA.Shutdown(ctx)
+		_ = sB.Shutdown(ctx)
+		lnA.Close()
+		lnB.Close()
+	})
+
+	// Before any probe: every peer is unknown/unhealthy, so shards stay
+	// local — no blind dispatch into the dark.
+	spec := mcSpec(48)
+	spec.Seed = 71
+	spec.MC.Shards = 2
+	v := submitURL(t, urlA, "k-acme", spec)
+	fin := waitTerminalURL(t, urlA, "k-acme", v.ID)
+	if fin.State != StateDone {
+		t.Fatalf("pre-probe campaign = %s, want done", fin.State)
+	}
+	snap := regA.Snapshot()
+	if n, _ := snap.Counter("serve_shards_placed_local_total"); n != 2 {
+		t.Errorf("serve_shards_placed_local_total = %d, want 2 (no healthy peer)", n)
+	}
+	if n, _ := snap.Counter("serve_shard_fallbacks_total"); n != 0 {
+		t.Errorf("serve_shard_fallbacks_total = %d, want 0 — local placement is not a fallback", n)
+	}
+
+	// After a probe, B (idle, more workers) is eligible: a sharded
+	// campaign spreads across both nodes and the peer executes real
+	// sub-jobs under the submitting tenant.
+	sA.probeFleet(time.Now())
+	spec2 := mcSpec(96)
+	spec2.Seed = 72
+	spec2.MC.Shards = 4
+	v2 := submitURL(t, urlA, "k-acme", spec2)
+	fin2 := waitTerminalURL(t, urlA, "k-acme", v2.ID)
+	if fin2.State != StateDone {
+		t.Fatalf("fleet-placed campaign = %s (error %q), want done", fin2.State, fin2.Error)
+	}
+	if n, _ := regA.Snapshot().Counter("serve_shards_dispatched_total"); n == 0 {
+		t.Error("no shard reached the healthy peer")
+	}
+	if n, _ := regA.Snapshot().Counter("serve_shard_fallbacks_total"); n != 0 {
+		t.Errorf("serve_shard_fallbacks_total = %d, want 0", n)
+	}
+	// The peer ran the dispatched shards as fleet-internal sub-jobs:
+	// admitted and executed, but never charged to acme's own instruments.
+	if n, _ := regB.Snapshot().Counter("serve_jobs_submitted_total"); n == 0 {
+		t.Error("peer accepted no sub-jobs")
+	}
+	if n, _ := regB.Snapshot().Counter("serve_tenant_acme_admitted_total"); n != 0 {
+		t.Errorf("peer charged %d fleet-internal sub-jobs to acme's admission counter, want 0", n)
+	}
+
+	var got jobspec.Result
+	if err := json.Unmarshal(fin2.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	ref := mcSpec(96)
+	ref.Seed = 72
+	ref.ApplyDefaults()
+	want, err := jobspec.Execute(context.Background(), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MC.Stats.Moments != want.MC.Stats.Moments {
+		t.Errorf("fleet-placed moments\n%+v\ndiffer from the unsharded run's\n%+v",
+			got.MC.Stats.Moments, want.MC.Stats.Moments)
+	}
+}
+
+// TestFleetConfigValidate covers the config guards that keep a bad
+// fleet.json from running half-federated.
+func TestFleetConfigValidate(t *testing.T) {
+	base := func() *FleetConfig {
+		c := &FleetConfig{Self: "a", Key: "k", Nodes: []FleetNode{
+			{ID: "a", URL: "http://h1:1"}, {ID: "b", URL: "http://h2:1"},
+		}}
+		c.applyDefaults()
+		return c
+	}
+	if err := base().validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := map[string]func(*FleetConfig){
+		"no key":         func(c *FleetConfig) { c.Key = "" },
+		"self missing":   func(c *FleetConfig) { c.Self = "zz" },
+		"dup id":         func(c *FleetConfig) { c.Nodes[1].ID = "a" },
+		"dup url":        func(c *FleetConfig) { c.Nodes[1].URL = c.Nodes[0].URL },
+		"empty id":       func(c *FleetConfig) { c.Nodes[0].ID = "" },
+		"reserved infix": func(c *FleetConfig) { c.Nodes[0].ID = "x-job-y"; c.Self = "x-job-y" },
+		"no url":         func(c *FleetConfig) { c.Nodes[1].URL = "" },
+	}
+	for name, mutate := range cases {
+		c := base()
+		mutate(c)
+		if err := c.validate(); err == nil {
+			t.Errorf("%s: validate accepted a broken config", name)
+		}
+	}
+	if owner := ownerFromID("b-job-000123"); owner != "b" {
+		t.Errorf("ownerFromID = %q, want b", owner)
+	}
+	if owner := ownerFromID("job-000123"); owner != "" {
+		t.Errorf("ownerFromID(unprefixed) = %q, want empty", owner)
+	}
+	if n, ok := jobSeq("a-job-000042", "a-"); !ok || n != 42 {
+		t.Errorf("jobSeq own prefix = %d,%v, want 42,true", n, ok)
+	}
+	if _, ok := jobSeq("b-job-000042", "a-"); ok {
+		t.Error("jobSeq accepted a foreign prefix")
+	}
+}

@@ -57,6 +57,12 @@ type Job struct {
 	// mu.
 	tenant string
 	class  string
+	// internal marks a fleet-dispatched shard sub-job: still owned by its
+	// originating tenant (polls scope to it), but scheduled from the
+	// quota-exempt fleet lane, because the parent campaign already holds
+	// the tenant's max_running slot on the dispatching node. Fixed at
+	// admission like tenant and class.
+	internal bool
 
 	mu              sync.Mutex
 	state           State
@@ -90,6 +96,16 @@ func newJob(id string, spec *jobspec.Spec, hash, tenant, class string, now time.
 	}
 	j.appendLocked(Event{Type: "queued"})
 	return j
+}
+
+// laneID resolves the queue lane the job is scheduled from: its tenant,
+// except for fleet-internal shard sub-jobs, which share the quota-exempt
+// fleet lane.
+func (j *Job) laneID() string {
+	if j.internal {
+		return fleetLane
+	}
+	return j.tenant
 }
 
 // newCachedJob builds a job that is born terminal: its result is the
@@ -145,6 +161,7 @@ func restoredJob(r store.RecoveredJob, now time.Time) *Job {
 		ID: r.ID, Spec: r.Spec, specHash: r.Hash,
 		tenant:    r.Tenant,
 		class:     r.Class,
+		internal:  r.Internal,
 		state:     StateQueued,
 		submitted: r.Submitted,
 		changed:   make(chan struct{}),

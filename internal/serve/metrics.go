@@ -24,6 +24,14 @@ import (
 //	serve_checkpoints_total           count  campaign chunk checkpoints journaled by workers
 //	serve_shards_dispatched_total     count  campaign shards answered by peer servers
 //	serve_shard_fallbacks_total       count  peer shard dispatches that fell back to local execution
+//	serve_shard_fallbacks_auth_total  count  fallbacks caused by a peer rejecting the shard 401/403
+//	serve_shard_fallbacks_unreachable_total count fallbacks caused by an unreachable or timed-out peer
+//	serve_shards_placed_local_total   count  shards fleet placement ran on this node (least loaded / no healthy peer)
+//	serve_fleet_probes_total          count  fleet health probes issued
+//	serve_fleet_probe_failures_total  count  fleet health probes that failed
+//	serve_fleet_forwards_total        count  requests forwarded to the owning fleet node
+//	serve_fleet_takeovers_total       count  jobs adopted from dead fleet peers
+//	serve_fleet_nodes_healthy         gauge  fleet nodes currently healthy (this one included)
 //	serve_subjobs_cached_total        count  signoff sub-jobs answered from the result cache
 //	serve_store_errors_total          count  store writes that failed (job state stays in memory)
 //	serve_batches_submitted_total     count  batch submissions accepted
@@ -46,9 +54,17 @@ type metrics struct {
 	evicted          *obs.Counter
 	resumed          *obs.Counter
 	checkpoints      *obs.Counter
-	shardsDispatched *obs.Counter
-	shardFallbacks   *obs.Counter
-	subjobsCached    *obs.Counter
+	shardsDispatched          *obs.Counter
+	shardFallbacks            *obs.Counter
+	shardFallbacksAuth        *obs.Counter
+	shardFallbacksUnreachable *obs.Counter
+	shardsLocal               *obs.Counter
+	fleetProbes               *obs.Counter
+	fleetProbeFails           *obs.Counter
+	fleetForwards             *obs.Counter
+	fleetTakeovers            *obs.Counter
+	fleetHealthy              *obs.Gauge
+	subjobsCached             *obs.Counter
 	storeErrors      *obs.Counter
 	batches          *obs.Counter
 	batchDeduped     *obs.Counter
@@ -71,9 +87,17 @@ func newMetrics(reg *obs.Registry) *metrics {
 		evicted:          reg.Counter("serve_jobs_evicted_total", "1", "terminal jobs evicted by the retention policy"),
 		resumed:          reg.Counter("serve_jobs_resumed_total", "1", "interrupted campaigns re-enqueued with their checkpoints"),
 		checkpoints:      reg.Counter("serve_checkpoints_total", "1", "campaign chunk checkpoints journaled by workers"),
-		shardsDispatched: reg.Counter("serve_shards_dispatched_total", "1", "campaign shards answered by peer servers"),
-		shardFallbacks:   reg.Counter("serve_shard_fallbacks_total", "1", "peer shard dispatches that fell back to local execution"),
-		subjobsCached:    reg.Counter("serve_subjobs_cached_total", "1", "signoff sub-jobs answered from the result cache"),
+		shardsDispatched:          reg.Counter("serve_shards_dispatched_total", "1", "campaign shards answered by peer servers"),
+		shardFallbacks:            reg.Counter("serve_shard_fallbacks_total", "1", "peer shard dispatches that fell back to local execution"),
+		shardFallbacksAuth:        reg.Counter("serve_shard_fallbacks_auth_total", "1", "shard fallbacks caused by a peer auth rejection"),
+		shardFallbacksUnreachable: reg.Counter("serve_shard_fallbacks_unreachable_total", "1", "shard fallbacks caused by an unreachable or timed-out peer"),
+		shardsLocal:               reg.Counter("serve_shards_placed_local_total", "1", "shards fleet placement ran on this node"),
+		fleetProbes:               reg.Counter("serve_fleet_probes_total", "1", "fleet health probes issued"),
+		fleetProbeFails:           reg.Counter("serve_fleet_probe_failures_total", "1", "fleet health probes that failed"),
+		fleetForwards:             reg.Counter("serve_fleet_forwards_total", "1", "requests forwarded to the owning fleet node"),
+		fleetTakeovers:            reg.Counter("serve_fleet_takeovers_total", "1", "jobs adopted from dead fleet peers"),
+		fleetHealthy:              reg.Gauge("serve_fleet_nodes_healthy", "1", "fleet nodes currently healthy"),
+		subjobsCached:             reg.Counter("serve_subjobs_cached_total", "1", "signoff sub-jobs answered from the result cache"),
 		storeErrors:      reg.Counter("serve_store_errors_total", "1", "store writes that failed"),
 		batches:          reg.Counter("serve_batches_submitted_total", "1", "batch submissions accepted"),
 		batchDeduped:     reg.Counter("serve_batch_specs_deduped_total", "1", "batch specs folded into an identical sibling spec"),

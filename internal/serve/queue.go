@@ -47,6 +47,14 @@ type jobQueue struct {
 	clock     float64
 
 	tenants map[string]*tenantLane
+
+	// fleetRunning, when set (fleet mode), reports how many jobs of a
+	// tenant the healthy peer nodes are currently running, so the
+	// max_running check below enforces the cap fleet-wide. It is called
+	// under q.mu and takes the fleet table's own lock, so fleet code must
+	// never acquire q.mu while holding that lock (the prober releases it
+	// before calling poke).
+	fleetRunning func(tenant string) int
 }
 
 // tenantLane is one tenant's scheduling state.
@@ -103,15 +111,15 @@ func (q *jobQueue) tryPush(cfg *TenantConfig, jobs ...*Job) error {
 	if len(jobs) == 0 {
 		return nil
 	}
-	tenant := jobs[0].tenant
+	lane := jobs[0].laneID()
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return errDraining
 	}
-	l := q.laneLocked(tenant, cfg)
+	l := q.laneLocked(lane, cfg)
 	if l.maxQueued > 0 && l.depth()+len(jobs) > l.maxQueued {
-		return &errTenantQueueFull{tenant: tenant, limit: l.maxQueued}
+		return &errTenantQueueFull{tenant: lane, limit: l.maxQueued}
 	}
 	if q.queued+len(jobs) > q.capGlobal {
 		return errQueueFull
@@ -132,7 +140,7 @@ func (q *jobQueue) forcePush(cfg *TenantConfig, jobs ...*Job) error {
 	if q.closed {
 		return errDraining
 	}
-	q.pushLocked(q.laneLocked(jobs[0].tenant, cfg), jobs)
+	q.pushLocked(q.laneLocked(jobs[0].laneID(), cfg), jobs)
 	return nil
 }
 
@@ -182,8 +190,17 @@ func (q *jobQueue) selectLocked() *Job {
 		if l.depth() == 0 {
 			continue
 		}
-		if l.maxRunning > 0 && l.running >= l.maxRunning {
-			continue
+		if l.maxRunning > 0 {
+			running := l.running
+			// Fleet mode: the cap counts the whole fleet's running jobs for
+			// the tenant, not just this node's. The internal shard lane is
+			// exempt (it has no cap to begin with).
+			if q.fleetRunning != nil && l.id != fleetLane {
+				running += q.fleetRunning(l.id)
+			}
+			if running >= l.maxRunning {
+				continue
+			}
 		}
 		if best == nil || l.pass < best.pass || (l.pass == best.pass && l.id < best.id) {
 			best = l
@@ -214,11 +231,44 @@ func (q *jobQueue) selectLocked() *Job {
 // tenant previously at its max_running cap may now be schedulable.
 func (q *jobQueue) done(j *Job) {
 	q.mu.Lock()
-	if l := q.tenants[j.tenant]; l != nil && l.running > 0 {
+	if l := q.tenants[j.laneID()]; l != nil && l.running > 0 {
 		l.running--
 	}
 	q.cond.Broadcast()
 	q.mu.Unlock()
+}
+
+// poke wakes blocked workers without changing queue state. The fleet
+// prober calls it after every probe round: a peer going down (or coming
+// back) changes fleet-wide max_running headroom, and a worker parked in
+// pop would otherwise not notice until local state changed.
+func (q *jobQueue) poke() {
+	q.mu.Lock()
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// tenantLoads snapshots per-tenant local load — running and queued jobs
+// per real tenant lane — for the /v1/fleet document the peers' probes
+// consume. The internal shard lane is excluded: its jobs are accounted
+// by their originating campaign on the dispatching node.
+func (q *jobQueue) tenantLoads() map[string]fleetLoad {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var m map[string]fleetLoad
+	for id, l := range q.tenants {
+		if id == fleetLane {
+			continue
+		}
+		if l.running == 0 && l.depth() == 0 {
+			continue
+		}
+		if m == nil {
+			m = make(map[string]fleetLoad)
+		}
+		m[id] = fleetLoad{Running: l.running, Queued: l.depth()}
+	}
+	return m
 }
 
 // restoreScheduled seeds per-tenant fair-share accounting from the

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -79,8 +80,21 @@ type Config struct {
 	// spec sets mc.shards > 1: shard k goes to Peers[k mod len(Peers)]
 	// as a trial-range sub-job. A peer failure falls back to executing
 	// that shard locally, so a dead peer degrades throughput, never
-	// correctness. Empty = every shard runs in this process.
+	// correctness. Empty = every shard runs in this process. Ignored when
+	// Fleet is set — fleet placement is health-checked and load-aware.
 	Peers []string
+	// Fleet, when set, federates this server with the other nodes of the
+	// table: node-prefixed job IDs, request forwarding to owners,
+	// health-probed least-backlog shard placement, fleet-wide tenant
+	// max_running, and journal-replay failover for dead peers. Load it
+	// with LoadFleet; an invalid config panics in NewServer, because
+	// silently running un-federated would mask a misconfigured fleet.
+	Fleet *FleetConfig
+	// ShardHTTPTimeout bounds every node-to-node shard dispatch request —
+	// submit, poll, cancel (default 15s). This is what turns a peer that
+	// accepts TCP and then stalls into a fallback instead of a worker
+	// goroutine parked forever.
+	ShardHTTPTimeout time.Duration
 	// MaxTerminalJobs bounds the retained terminal jobs (default 512,
 	// negative = unbounded); the oldest are evicted first. Queued and
 	// running jobs are never evicted. This is what keeps a long-running
@@ -115,6 +129,21 @@ type Server struct {
 	baseCtx context.Context
 	stopAll context.CancelFunc
 	wg      sync.WaitGroup
+
+	// Fleet state: nil outside fleet mode. nodeID/idPrefix derive from
+	// Fleet.Self ("" / "" single-node); the clients separate concerns —
+	// shardClient and probeClient carry real timeouts, streamClient (event
+	// forwarding) is bounded only by a dial timeout plus the caller's own
+	// request context, because a streamed job can legitimately run for
+	// hours.
+	fleet        *fleetState
+	nodeID       string
+	idPrefix     string
+	shardClient  *http.Client
+	probeClient  *http.Client
+	streamClient *http.Client
+	proberStop   chan struct{}
+	proberOnce   sync.Once
 	// ready flips once journal replay and restore have completed; until
 	// then /readyz answers 503 not_ready (liveness /healthz is unaffected).
 	ready atomic.Bool
@@ -159,6 +188,9 @@ func NewServer(cfg Config) *Server {
 	if cfg.EventWriteTimeout <= 0 {
 		cfg.EventWriteTimeout = 10 * time.Second
 	}
+	if cfg.ShardHTTPTimeout <= 0 {
+		cfg.ShardHTTPTimeout = 15 * time.Second
+	}
 	var recovered []store.RecoveredJob
 	if cfg.Store != nil {
 		recovered = cfg.Store.Recovered()
@@ -173,15 +205,49 @@ func NewServer(cfg Config) *Server {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		queue:   newJobQueue(depth),
-		met:     newMetrics(cfg.Registry),
-		tenants: newTenantSet(cfg.Tenants),
-		baseCtx: ctx,
-		stopAll: cancel,
-		jobs:    make(map[string]*Job),
-		batches: make(map[string]*batchRecord),
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		queue:      newJobQueue(depth),
+		met:        newMetrics(cfg.Registry),
+		tenants:    newTenantSet(cfg.Tenants),
+		baseCtx:    ctx,
+		stopAll:    cancel,
+		jobs:       make(map[string]*Job),
+		batches:    make(map[string]*batchRecord),
+		proberStop: make(chan struct{}),
+	}
+	s.shardClient = &http.Client{Timeout: cfg.ShardHTTPTimeout}
+	if fc := cfg.Fleet; fc != nil {
+		fc.applyDefaults()
+		if err := fc.validate(); err != nil {
+			panic(err) // a misconfigured fleet must not run silently un-federated
+		}
+		s.fleet = newFleetState(fc)
+		s.nodeID = fc.Self
+		s.idPrefix = fc.Self + "-"
+		if s.tenants != nil {
+			s.tenants.fleetKey = fc.Key
+		}
+		// Probes must fail fast relative to their own cadence; shard
+		// dispatch can afford the longer timeout.
+		probeTimeout := 2 * time.Duration(fc.ProbeEvery)
+		if probeTimeout > 10*time.Second {
+			probeTimeout = 10 * time.Second
+		}
+		if probeTimeout > cfg.ShardHTTPTimeout {
+			probeTimeout = cfg.ShardHTTPTimeout
+		}
+		// Probes dial fresh every time: a cached keep-alive connection to a
+		// node whose listener died still answers, turning the health check
+		// into a liveness check of a stale socket.
+		s.probeClient = &http.Client{
+			Timeout:   probeTimeout,
+			Transport: &http.Transport{DisableKeepAlives: true},
+		}
+		s.streamClient = &http.Client{Transport: &http.Transport{
+			DialContext: (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+		}}
+		s.queue.fleetRunning = s.fleet.runningFor
 	}
 	s.routes()
 	s.restore(recovered)
@@ -189,6 +255,10 @@ func NewServer(cfg Config) *Server {
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if s.fleet != nil {
+		s.wg.Add(1)
+		go s.prober()
 	}
 	return s
 }
@@ -234,16 +304,17 @@ func (s *Server) restore(recovered []store.RecoveredJob) {
 		j := restoredJob(r, now)
 		s.jobs[j.ID] = j
 		s.order = append(s.order, j.ID)
-		var n int
-		if _, err := fmt.Sscanf(r.ID, "job-%d", &n); err == nil && n > s.nextID {
+		// The ID counter resumes past this node's own jobs; adopted jobs
+		// carry another node's prefix and must not advance it.
+		if n, ok := jobSeq(r.ID, s.idPrefix); ok && n > s.nextID {
 			s.nextID = n
 		}
 		if !r.Started.IsZero() {
-			scheduled[j.tenant]++
+			scheduled[j.laneID()]++
 		}
 		switch r.State {
 		case store.StateQueued:
-			if err := s.queue.forcePush(s.tenantCfg(j.tenant), j); err != nil {
+			if err := s.queue.forcePush(s.laneCfg(j), j); err != nil {
 				// Unreachable — restore precedes any drain — but a dropped
 				// job must still reach a terminal state.
 				if j.requestCancel("recovered queued job dropped: " + err.Error()) {
@@ -254,7 +325,7 @@ func (s *Server) restore(recovered []store.RecoveredJob) {
 		case store.StateInterrupted:
 			if resumable(r) {
 				s.met.resumed.Inc()
-				if err := s.queue.forcePush(s.tenantCfg(j.tenant), j); err != nil {
+				if err := s.queue.forcePush(s.laneCfg(j), j); err != nil {
 					if j.requestCancel("recovered campaign dropped: " + err.Error()) {
 						s.met.finished(StateCancelled)
 						s.persistTerminal(j)
@@ -295,6 +366,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.authed(s.handleEvents))
 	s.mux.HandleFunc("POST /v1/batches", s.authed(s.handleBatchSubmit))
 	s.mux.HandleFunc("GET /v1/batches/{id}", s.authed(s.handleBatchGet))
+	s.mux.HandleFunc("GET /v1/fleet", s.authed(s.handleFleet))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	if s.cfg.Registry != nil {
@@ -325,6 +397,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.proberOnce.Do(func() { close(s.proberStop) })
 	s.queue.close()
 	done := make(chan struct{})
 	go func() {
@@ -343,12 +416,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// addJob allocates the next job ID and tracks the new queued job.
-func (s *Server) addJob(spec *jobspec.Spec, hash, tenant, class string) *Job {
+// addJob allocates the next job ID (node-prefixed in fleet mode, so IDs
+// are unique fleet-wide and name their owner) and tracks the new queued
+// job. internal marks fleet-dispatched shard sub-jobs, which schedule
+// from the quota-exempt fleet lane.
+func (s *Server) addJob(spec *jobspec.Spec, hash, tenant, class string, internal bool) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	j := newJob(fmt.Sprintf("job-%06d", s.nextID), spec, hash, tenant, class, time.Now())
+	j := newJob(fmt.Sprintf("%sjob-%06d", s.idPrefix, s.nextID), spec, hash, tenant, class, time.Now())
+	j.internal = internal
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	return j
@@ -364,7 +441,7 @@ func (s *Server) addCachedJob(spec *jobspec.Spec, hash, tenant, class string, re
 		return nil
 	}
 	s.nextID++
-	j := newCachedJob(fmt.Sprintf("job-%06d", s.nextID), spec, hash, tenant, class, result, time.Now())
+	j := newCachedJob(fmt.Sprintf("%sjob-%06d", s.idPrefix, s.nextID), spec, hash, tenant, class, result, time.Now())
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	return j
@@ -404,7 +481,8 @@ func (s *Server) persistTerminal(j *Job) {
 func (s *Server) persistSubmitted(j *Job, now time.Time) {
 	if st := s.cfg.Store; st != nil {
 		s.storeErr(st.JobSubmitted(j.ID, j.Spec, j.specHash,
-			store.SubmitMeta{Tenant: j.tenant, Class: j.class}, now))
+			store.SubmitMeta{Tenant: j.tenant, Class: j.class,
+				Node: s.nodeID, Internal: j.internal}, now))
 	}
 }
 
@@ -641,6 +719,11 @@ func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) *jobspec.Spe
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, ts *tenantState) {
 	tenant := tenantID(ts)
+	// Fleet-internal submissions (a peer dispatching a campaign shard with
+	// the shared fleet key) bypass per-tenant admission — trial-rate and
+	// max_queued were already charged to the campaign on the dispatching
+	// node — and schedule from the quota-exempt fleet lane.
+	internal := s.isFleetReq(r)
 	class, err := requestClass(r, ClassInteractive)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, apiError(ErrBadArgument, err))
@@ -677,13 +760,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, ts *tenant
 		}
 	}
 	cost := trialCost(spec)
-	if !s.admitRate(w, ts, cost) {
+	if !internal && !s.admitRate(w, ts, cost) {
 		return
 	}
-	j := s.addJob(spec, hash, tenant, class)
-	if err := s.queue.tryPush(s.tenantCfg(tenant), j); err != nil {
+	j := s.addJob(spec, hash, tenant, class, internal)
+	var pushCfg *TenantConfig
+	if !internal {
+		pushCfg = s.tenantCfg(tenant)
+	}
+	if err := s.queue.tryPush(pushCfg, j); err != nil {
 		s.removeJob(j.ID)
-		if ts != nil {
+		if !internal && ts != nil {
 			ts.refund(cost)
 		}
 		s.rejectPush(w, err, ts)
@@ -691,9 +778,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, ts *tenant
 	}
 	s.met.submitted.Inc()
 	s.met.kindCounter(spec.Analysis).Inc()
-	s.met.tenantAdmitted(tenant).Inc()
 	s.met.depth.Set(float64(s.queue.depth()))
-	s.met.tenantDepth(tenant).Set(float64(s.queue.tenantDepth(tenant)))
+	if !internal {
+		s.met.tenantAdmitted(tenant).Inc()
+		s.met.tenantDepth(tenant).Set(float64(s.queue.tenantDepth(tenant)))
+	}
 	s.persistSubmitted(j, time.Now())
 	s.enforceRetention(time.Now())
 	writeJSON(w, http.StatusAccepted, j.view(false))
@@ -744,14 +833,35 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request, ts *tenantSt
 	// Snapshot under the lock, skipping ids whose jobs were evicted
 	// between the order copy and the map read — the list must stay
 	// stable (no gaps, no nils) while the retention policy runs. s.order
-	// is submit-ordered and job IDs are zero-padded monotonics, so the
-	// page token — the last job ID of the previous page — resumes with a
-	// plain string comparison.
+	// is submit-ordered, so the page token — the last job ID of the
+	// previous page — resumes positionally: find it in the order and
+	// continue one past it. In fleet mode adopted jobs interleave foreign
+	// node prefixes into the order, so IDs are no longer lexicographically
+	// monotonic; only when the token's job has been evicted does the scan
+	// fall back to the old string comparison (safe: eviction is
+	// oldest-first, so everything retained after an evicted token is
+	// lexicographically past it within one node's sequence).
 	s.mu.Lock()
+	start := 0
+	if token != "" {
+		start = -1
+		for i, id := range s.order {
+			if id == token {
+				start = i + 1
+				break
+			}
+		}
+	}
 	jobs := make([]*Job, 0, len(s.order))
-	for _, id := range s.order {
-		if token != "" && id <= token {
-			continue
+	for i, id := range s.order {
+		if token != "" {
+			if start >= 0 {
+				if i < start {
+					continue
+				}
+			} else if id <= token {
+				continue
+			}
 		}
 		if j := s.jobs[id]; j != nil {
 			jobs = append(jobs, j)
@@ -784,8 +894,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request, ts *tenantSt
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, ts *tenantState) {
-	j := s.jobForTenant(r.PathValue("id"), ts)
+	id := r.PathValue("id")
+	j := s.jobForTenant(id, ts)
 	if j == nil {
+		if s.forwardJob(w, r, id, ts) {
+			return
+		}
 		writeError(w, http.StatusNotFound, apiError(ErrNotFound, errors.New("no such job")))
 		return
 	}
@@ -793,8 +907,12 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, ts *tenantSta
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request, ts *tenantState) {
-	j := s.jobForTenant(r.PathValue("id"), ts)
+	id := r.PathValue("id")
+	j := s.jobForTenant(id, ts)
 	if j == nil {
+		if s.forwardJob(w, r, id, ts) {
+			return
+		}
 		writeError(w, http.StatusNotFound, apiError(ErrNotFound, errors.New("no such job")))
 		return
 	}

@@ -219,6 +219,12 @@ func trialCost(spec *jobspec.Spec) float64 {
 type tenantSet struct {
 	byKey map[string]*tenantState
 	byID  map[string]*tenantState
+	// fleetKey, when non-empty, is the shared node-to-node fleet
+	// credential: it authenticates like a key but scopes itself to the
+	// tenant named by the X-Relsim-Tenant header (or the default tenant
+	// without one). Set by NewServer when both a keyfile and a fleet
+	// config are present.
+	fleetKey string
 }
 
 func newTenantSet(cfgs []TenantConfig) *tenantSet {
@@ -235,20 +241,39 @@ func newTenantSet(cfgs []TenantConfig) *tenantSet {
 	return ts
 }
 
-// authenticate resolves the request's API key ("Authorization: Bearer
-// <key>" or "X-API-Key") to a tenant. A nil set (no keyfile) accepts
-// everything as the default tenant.
+// requestKey extracts the API key a request presents ("Authorization:
+// Bearer <key>" or "X-API-Key"), empty when none.
+func requestKey(r *http.Request) string {
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return key
+	}
+	if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+		return strings.TrimPrefix(auth, "Bearer ")
+	}
+	return ""
+}
+
+// authenticate resolves the request's API key to a tenant. A nil set
+// (no keyfile) accepts everything as the default tenant. The shared
+// fleet key authenticates node-to-node calls and acts for the tenant
+// the X-Relsim-Tenant header names (401 for an unknown one — a peer
+// must not mint tenants this node's keyfile does not know).
 func (ts *tenantSet) authenticate(r *http.Request) (*tenantState, bool) {
 	if ts == nil {
 		return nil, true
 	}
-	key := r.Header.Get("X-API-Key")
+	key := requestKey(r)
 	if key == "" {
-		if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
-			key = strings.TrimPrefix(auth, "Bearer ")
-		}
+		return nil, false
 	}
-	if key == "" {
+	if ts.fleetKey != "" && key == ts.fleetKey {
+		id := r.Header.Get(fleetTenantHeader)
+		if st, ok := ts.byID[id]; ok {
+			return st, true
+		}
+		if id == "" || id == DefaultTenant {
+			return nil, true
+		}
 		return nil, false
 	}
 	st, ok := ts.byKey[key]

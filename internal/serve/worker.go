@@ -25,8 +25,13 @@ func (s *Server) worker() {
 			return
 		}
 		s.met.depth.Set(float64(s.queue.depth()))
-		s.met.tenantDepth(j.tenant).Set(float64(s.queue.tenantDepth(j.tenant)))
-		s.met.tenantScheduled(j.tenant).Inc()
+		// Fleet-internal shard sub-jobs are accounted by their originating
+		// campaign on the dispatching node, not by this node's per-tenant
+		// instruments.
+		if !j.internal {
+			s.met.tenantDepth(j.tenant).Set(float64(s.queue.tenantDepth(j.tenant)))
+			s.met.tenantScheduled(j.tenant).Inc()
+		}
 		s.runJob(j)
 		s.queue.done(j)
 	}
@@ -77,8 +82,10 @@ func (s *Server) runJob(j *Job) {
 			s.met.checkpoints.Inc()
 		}
 	}
-	if len(s.cfg.Peers) > 0 {
-		opts.RunShard = s.runShard
+	if len(s.cfg.Peers) > 0 || s.fleet != nil {
+		opts.RunShard = func(ctx context.Context, shard int, sub *jobspec.Spec) (*jobspec.Result, error) {
+			return s.runShard(ctx, j, shard, sub)
+		}
 	}
 	opts.RunSub = s.runSubJob
 	var (

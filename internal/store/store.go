@@ -84,6 +84,14 @@ type Options struct {
 type SubmitMeta struct {
 	Tenant string
 	Class  string
+	// Node names the fleet node that owns the job (empty outside fleet
+	// mode). A surviving node replaying a dead peer's journal uses it to
+	// tell adopted work from its own.
+	Node string
+	// Internal marks a fleet-dispatched shard sub-job. Internal jobs are
+	// never adopted during failover: their dispatching owner re-runs the
+	// shard through its own fallback path.
+	Internal bool
 }
 
 // RecoveredJob is one job reconstructed from the journal at Open, in
@@ -98,6 +106,8 @@ type RecoveredJob struct {
 	Hash      string
 	Tenant    string
 	Class     string
+	Node      string
+	Internal  bool
 	State     string
 	Submitted time.Time
 	Started   time.Time
@@ -130,7 +140,12 @@ type record struct {
 	// restarted server replays to rebuild per-tenant fair-share state.
 	Tenant string `json:"tenant,omitempty"`
 	Class  string `json:"class,omitempty"`
-	Error  string `json:"error,omitempty"`
+	// Node and Internal ride only on submitted records: the fleet node
+	// that owned the job at admission, and whether it is a fleet-internal
+	// shard sub-job (skipped by failover adoption).
+	Node     string `json:"node,omitempty"`
+	Internal bool   `json:"internal,omitempty"`
+	Error    string `json:"error,omitempty"`
 	// Cached marks a done record whose result was entered into the
 	// spec-hash cache, so replay rebuilds the cache exactly.
 	Cached bool `json:"cached,omitempty"`
@@ -150,6 +165,8 @@ type jobRec struct {
 	hash      string
 	tenant    string
 	class     string
+	node      string
+	internal  bool
 	submitted time.Time
 	started   time.Time
 	state     string // "" until terminal
@@ -189,6 +206,9 @@ type Store struct {
 	dir  string
 	opts Options
 	met  *metrics
+	// readOnly marks a ReadJournal replay: no journal handle, no orphan
+	// GC, no writes of any kind against the directory.
+	readOnly bool
 
 	mu        sync.Mutex
 	f         *os.File
@@ -294,6 +314,7 @@ func (s *Store) replay() (dirty bool, err error) {
 			r := ensure(rec.Job)
 			r.spec, r.hash, r.submitted = rec.Spec, rec.Hash, rec.Time
 			r.tenant, r.class = rec.Tenant, rec.Class
+			r.node, r.internal = rec.Node, rec.Internal
 		case StateRunning:
 			ensure(rec.Job).started = rec.Time
 		case StateCheckpoint:
@@ -341,7 +362,12 @@ func (s *Store) replay() (dirty bool, err error) {
 	}
 	s.order = live
 	// Orphan result snapshots (crash between an eviction's journal append
-	// and its file delete) are garbage-collected here.
+	// and its file delete) are garbage-collected here. A read-only replay
+	// (ReadJournal) must not delete anything: the directory belongs to
+	// another — possibly dead, possibly restarting — process.
+	if s.readOnly {
+		return dirty, nil
+	}
 	if entries, err := os.ReadDir(s.resultsDir()); err == nil {
 		for _, e := range entries {
 			id := e.Name()
@@ -363,6 +389,7 @@ func (s *Store) buildRecovered() {
 		rj := RecoveredJob{
 			ID: r.id, Spec: r.spec, Hash: r.hash,
 			Tenant: r.tenant, Class: r.class,
+			Node: r.node, Internal: r.internal,
 			Submitted: r.submitted, Started: r.started, Finished: r.finished,
 			Error: r.errMsg,
 		}
@@ -386,6 +413,28 @@ func (s *Store) buildRecovered() {
 
 // Recovered returns the jobs reconstructed at Open, in submit order.
 func (s *Store) Recovered() []RecoveredJob { return s.recovered }
+
+// ReadJournal replays the journal rooted at dir without opening it for
+// writing, compacting it, or garbage-collecting anything — a pure read.
+// This is the fleet failover path: a surviving node inspects a dead
+// peer's (shared or handed-off) data dir to adopt its unfinished jobs
+// with their checkpoints, while the directory stays byte-identical in
+// case the owner comes back. A missing journal returns no jobs and no
+// error, exactly like Open on an empty dir.
+func ReadJournal(dir string) ([]RecoveredJob, error) {
+	s := &Store{
+		dir:      dir,
+		met:      newMetrics(nil),
+		readOnly: true,
+		jobs:     make(map[string]*jobRec),
+		cache:    make(map[string]string),
+	}
+	if _, err := s.replay(); err != nil {
+		return nil, err
+	}
+	s.buildRecovered()
+	return s.recovered, nil
+}
 
 // Jobs returns the number of live (non-evicted) jobs in the journal.
 func (s *Store) Jobs() int {
@@ -428,9 +477,10 @@ func (s *Store) JobSubmitted(id string, spec *jobspec.Spec, hash string, meta Su
 	}
 	r.spec, r.hash, r.submitted = spec, hash, t
 	r.tenant, r.class = meta.Tenant, meta.Class
+	r.node, r.internal = meta.Node, meta.Internal
 	s.met.jobs.Set(float64(len(s.jobs)))
 	return s.appendLocked(record{Time: t, Job: id, State: StateSubmitted, Spec: spec, Hash: hash,
-		Tenant: meta.Tenant, Class: meta.Class})
+		Tenant: meta.Tenant, Class: meta.Class, Node: meta.Node, Internal: meta.Internal})
 }
 
 // JobRunning journals a job's queued → running transition.
@@ -573,7 +623,7 @@ func (s *Store) compactLocked() error {
 	for _, id := range s.order {
 		r := s.jobs[id]
 		recs := []record{{Time: r.submitted, Job: id, State: StateSubmitted, Spec: r.spec, Hash: r.hash,
-			Tenant: r.tenant, Class: r.class}}
+			Tenant: r.tenant, Class: r.class, Node: r.node, Internal: r.internal}}
 		if !r.started.IsZero() {
 			recs = append(recs, record{Time: r.started, Job: id, State: StateRunning})
 		}
